@@ -1,0 +1,40 @@
+"""Shared configuration for the table/figure benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper at a
+reduced workload scale (override with REPRO_BENCH_SCALE / the window
+list with REPRO_BENCH_WINDOWS) and prints the rows the paper reports.
+EXPERIMENTS.md records a full-scale run next to the paper's numbers.
+"""
+
+import os
+
+import pytest
+
+#: scale for detailed-core experiments (the slow ones)
+CORE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+#: scale for idealized-study and trace-driven experiments
+IDEAL_SCALE = float(os.environ.get("REPRO_BENCH_IDEAL_SCALE", "0.4"))
+#: window sizes for the window sweeps
+WINDOWS = tuple(
+    int(w) for w in os.environ.get("REPRO_BENCH_WINDOWS", "128,256").split(",")
+)
+
+
+@pytest.fixture(scope="session")
+def core_scale():
+    return CORE_SCALE
+
+
+@pytest.fixture(scope="session")
+def ideal_scale():
+    return IDEAL_SCALE
+
+
+@pytest.fixture(scope="session")
+def windows():
+    return WINDOWS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

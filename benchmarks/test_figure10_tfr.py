@@ -1,0 +1,20 @@
+"""Figure 10: identifying false mispredictions with TFR history."""
+
+from conftest import run_once
+from repro.bpred import coverage_at_true_fraction
+from repro.harness import format_figure10, run_figure10
+
+
+def test_figure10(benchmark, core_scale):
+    data = run_once(benchmark, run_figure10, core_scale)
+    print()
+    print(format_figure10(data))
+    for name, schemes in data.items():
+        for scheme in ("static", "dynamic_pc", "dynamic_xor"):
+            curve = schemes[scheme]
+            true_total, false_total = schemes["counts"][scheme]
+            assert curve[-1][0] == 1.0
+            if false_total:
+                assert curve[-1][1] == 1.0
+            xs = [x for x, _ in curve]
+            assert xs == sorted(xs)

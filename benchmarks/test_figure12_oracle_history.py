@@ -1,0 +1,14 @@
+"""Figure 12: impact of oracle global branch history."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure12
+
+
+def test_figure12(benchmark, core_scale):
+    data = run_once(benchmark, run_figure12, core_scale)
+    print()
+    print(format_simple_map("FIGURE 12. Oracle global history (IPC).", data))
+    for name, row in data.items():
+        # paper: effect is bounded (about +/-5% at full scale; allow slack)
+        ratio = row["oracle-history"] / row["timing"]
+        assert 0.7 < ratio < 1.4, (name, ratio)

@@ -1,0 +1,13 @@
+"""Figure 13: evaluation of re-predict sequences."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure13
+
+
+def test_figure13(benchmark, core_scale):
+    data = run_once(benchmark, run_figure13, core_scale)
+    print()
+    print(format_simple_map("FIGURE 13. Re-predict sequences (IPC).", data))
+    for name, row in data.items():
+        # oracle re-prediction is the ceiling for the CI heuristic
+        assert row["CI-OR"] >= row["CI"] * 0.9, name

@@ -1,0 +1,15 @@
+"""Figure 14: segmented reorder buffer granularity."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure14
+
+
+def test_figure14(benchmark, core_scale):
+    data = run_once(benchmark, run_figure14, core_scale)
+    print()
+    print(format_simple_map("FIGURE 14. ROB segment size (IPC).", data))
+    for name, row in data.items():
+        # fragmentation costs capacity; at bench scale second-order effects
+        # allow small inversions, so bound the deviation rather than the sign
+        assert row["seg16"] <= row["seg1"] * 1.15, name
+        assert row["seg1"] > 0 and row["seg4"] > 0

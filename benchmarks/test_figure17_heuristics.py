@@ -1,0 +1,20 @@
+"""Figure 17: hardware heuristics for identifying reconvergent points."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure17
+
+
+def test_figure17(benchmark, core_scale):
+    data = run_once(benchmark, run_figure17, core_scale)
+    print()
+    print(
+        format_simple_map(
+            "FIGURE 17. Reconvergence heuristics (% IPC improvement over BASE).",
+            data,
+            percent=True,
+        )
+    )
+    for name, row in data.items():
+        # full post-dominator information is the reference point; the
+        # combined heuristic recovers part of it (paper: 1/3 to 3/4)
+        assert row["postdom"] >= -5.0

@@ -1,0 +1,19 @@
+"""Figure 3: IPC of the six idealized models vs window size."""
+
+from conftest import run_once
+from repro.harness import format_figure3, run_figure3
+
+
+def test_figure3(benchmark, ideal_scale, windows):
+    data = run_once(benchmark, run_figure3, ideal_scale, windows)
+    print()
+    print(format_figure3(data))
+    for name, models in data.items():
+        for window in windows:
+            oracle = models["oracle"][window]
+            base = models["base"][window]
+            wrfd = models["WR-FD"][window]
+            # oracle bounds everything; WR-FD lands between base and oracle
+            assert base <= oracle * 1.02
+            assert wrfd <= oracle * 1.02
+            assert wrfd >= base * 0.95, (name, window)

@@ -1,0 +1,17 @@
+"""Figure 5: detailed-machine IPC (BASE / CI / CI-I) per window size."""
+
+from conftest import run_once
+from repro.harness import format_figure5, run_figure5
+
+
+def test_figure5(benchmark, core_scale, windows):
+    data = run_once(benchmark, run_figure5, core_scale, windows)
+    print()
+    print(format_figure5(data))
+    for name, machines in data.items():
+        for window in windows:
+            assert machines["CI"][window] > 0
+            # CI never loses badly to BASE; on go it clearly wins
+            assert machines["CI"][window] >= machines["BASE"][window] * 0.9
+    go = data["go"]
+    assert go["CI"][max(windows)] > go["BASE"][max(windows)]

@@ -1,0 +1,16 @@
+"""Figure 6: percent IPC improvement of CI over BASE."""
+
+from conftest import run_once
+from repro.harness import format_figure6, run_figure5, run_figure6
+
+
+def test_figure6(benchmark, core_scale, windows):
+    def experiment():
+        return run_figure6(run_figure5(core_scale, windows))
+
+    data = run_once(benchmark, experiment)
+    print()
+    print(format_figure6(data))
+    biggest = max(windows)
+    # paper: go shows the most benefit, vortex the least
+    assert data["go"][biggest] > data["vortex"][biggest]

@@ -1,0 +1,13 @@
+"""Figure 8: simple vs optimal preemption of restart sequences."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure8
+
+
+def test_figure8(benchmark, core_scale):
+    data = run_once(benchmark, run_figure8, core_scale)
+    print()
+    print(format_simple_map("FIGURE 8. Simple vs optimal preemption (IPC).", data))
+    for name, row in data.items():
+        # paper: simple performs close to optimal at a 256 window
+        assert row["simple"] >= row["optimal"] * 0.85, name

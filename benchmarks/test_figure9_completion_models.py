@@ -1,0 +1,14 @@
+"""Figure 9: branch completion models and false mispredictions."""
+
+from conftest import run_once
+from repro.harness import format_simple_map, run_figure9
+
+
+def test_figure9(benchmark, core_scale):
+    data = run_once(benchmark, run_figure9, core_scale)
+    print()
+    print(format_simple_map("FIGURE 9. Branch completion models (IPC).", data))
+    for name, row in data.items():
+        # hiding false mispredictions never hurts
+        assert row["spec-HFM"] >= row["spec"] * 0.95, name
+        assert row["spec-C-HFM"] >= row["spec-C"] * 0.95, name

@@ -1,0 +1,14 @@
+"""Table 1: benchmark instruction counts and misprediction rates."""
+
+from conftest import run_once
+from repro.harness import format_table1, run_table1
+
+
+def test_table1(benchmark, ideal_scale):
+    rows = run_once(benchmark, run_table1, ideal_scale)
+    print()
+    print(format_table1(rows))
+    assert len(rows) == 5
+    rates = {r["benchmark"]: r["misprediction_rate"] for r in rows}
+    assert rates["go"] == max(rates.values())       # paper: go 16.7%, hardest
+    assert rates["vortex"] == min(rates.values())   # paper: vortex 1.4%, easiest

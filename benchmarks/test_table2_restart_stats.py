@@ -1,0 +1,17 @@
+"""Table 2: statistics for restart/redispatch sequences."""
+
+from conftest import run_once
+from repro.harness import format_table2, run_table2
+
+
+def test_table2(benchmark, core_scale):
+    rows = run_once(benchmark, run_table2, core_scale)
+    print()
+    print(format_table2(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    for name, row in by_name.items():
+        if name == "vortex":
+            continue  # too few mispredictions at bench scale
+        assert row["pct_reconverge"] > 40, name      # paper: 46.8 - 90.8%
+        assert row["avg_ci_renamed"] < 15, name      # paper: ~2-3
+    assert by_name["compress"]["pct_reconverge"] > 60

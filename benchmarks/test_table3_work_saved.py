@@ -1,0 +1,15 @@
+"""Table 3: work saved by exploiting control independence."""
+
+from conftest import run_once
+from repro.harness import format_table3, run_table3
+
+
+def test_table3(benchmark, core_scale):
+    rows = run_once(benchmark, run_table3, core_scale)
+    print()
+    print(format_table3(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    for row in rows:
+        assert 0 <= row["work_saved"] <= row["fetch_saved"] <= 1
+    # paper: go/compress save much more work than vortex
+    assert by_name["go"]["fetch_saved"] > by_name["vortex"]["fetch_saved"]

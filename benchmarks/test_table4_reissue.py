@@ -1,0 +1,16 @@
+"""Table 4: instruction issues per retired instruction."""
+
+from conftest import run_once
+from repro.harness import format_table4, run_table4
+
+
+def test_table4(benchmark, core_scale):
+    rows = run_once(benchmark, run_table4, core_scale)
+    print()
+    print(format_table4(rows))
+    for row in rows:
+        assert row["noci_total"] >= 1.0
+        assert row["ci_total"] >= row["noci_total"] * 0.9  # CI adds reissues
+    by_name = {r["benchmark"]: r for r in rows}
+    # paper: compress has the most reissue traffic
+    assert by_name["compress"]["ci_total"] >= by_name["vortex"]["ci_total"]

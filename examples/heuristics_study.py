@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare hardware reconvergence heuristics against post-dominators.
+
+Reproduces the Appendix A.5 experiment (Figure 17): how much of the
+control-independence benefit survives when reconvergent points come from
+simple hardware heuristics (return targets, loop targets, mispredicted
+loop-terminating branches) instead of compiler post-dominator analysis.
+
+Usage:  python heuristics_study.py [scale]
+"""
+
+import sys
+
+from repro.cfg import ReconvergenceTable
+from repro.core import CoreConfig, GoldenTrace, Processor, ReconvPolicy
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+POLICIES = (
+    ReconvPolicy.RETURN,
+    ReconvPolicy.LOOP,
+    ReconvPolicy.LTB,
+    ReconvPolicy.RETURN_LOOP_LTB,
+    ReconvPolicy.POSTDOM,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"{'workload':10s}" + "".join(f"{p.value:>17s}" for p in POLICIES))
+    for name in WORKLOAD_NAMES:
+        program = build_workload(name, scale).program
+        golden = GoldenTrace(program)
+        table = ReconvergenceTable(program)
+        base = Processor(
+            program, CoreConfig(window_size=256, reconv_policy=ReconvPolicy.NONE),
+            golden, table,
+        ).run().ipc
+        cells = []
+        for policy in POLICIES:
+            cfg = CoreConfig(window_size=256, reconv_policy=policy)
+            ipc = Processor(program, cfg, golden, table).run().ipc
+            cells.append(f"{100 * (ipc / base - 1):+15.1f}% ")
+        print(f"{name:10s}" + "".join(cells))
+    print("\n(percent IPC improvement over a complete-squash BASE machine)")
+
+
+if __name__ == "__main__":
+    main()

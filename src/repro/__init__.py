@@ -1,0 +1,32 @@
+"""repro — reproduction of "A Study of Control Independence in Superscalar
+Processors" (Rotenberg, Jacobson & Smith, HPCA 1999).
+
+Public surface:
+
+* :mod:`repro.isa` — toy RISC ISA, assembler, shared instruction semantics
+* :mod:`repro.functional` — architectural simulation and golden traces
+* :mod:`repro.cfg` — post-dominator / reconvergence analysis
+* :mod:`repro.bpred` — gshare, target prediction, confidence, TFR
+* :mod:`repro.memsys` — cache timing models
+* :mod:`repro.ideal` — the six idealized machine models (paper Sec. 2)
+* :mod:`repro.core` — the detailed execution-driven CI processor (Sec. 3-4)
+* :mod:`repro.workloads` — the five synthetic SPEC95-like kernels
+* :mod:`repro.harness` — experiment runners for every table and figure
+"""
+
+from . import bpred, cfg, core, functional, harness, ideal, isa, memsys, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bpred",
+    "cfg",
+    "core",
+    "functional",
+    "harness",
+    "ideal",
+    "isa",
+    "memsys",
+    "workloads",
+    "__version__",
+]

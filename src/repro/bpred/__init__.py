@@ -1,0 +1,28 @@
+"""Branch prediction: gshare, target buffers, RAS, confidence, TFR."""
+
+from .confidence import ResettingCounterConfidence
+from .frontend import FrontEnd, Prediction
+from .gshare import GshareGlobalHistory, GsharePredictor
+from .targets import CorrelatedTargetBuffer, ReturnAddressStack
+from .tfr import (
+    MispredictionStats,
+    TFRCollector,
+    TFRTable,
+    coverage_at_true_fraction,
+    coverage_curve,
+)
+
+__all__ = [
+    "CorrelatedTargetBuffer",
+    "FrontEnd",
+    "GshareGlobalHistory",
+    "GsharePredictor",
+    "MispredictionStats",
+    "Prediction",
+    "ResettingCounterConfidence",
+    "ReturnAddressStack",
+    "TFRCollector",
+    "TFRTable",
+    "coverage_at_true_fraction",
+    "coverage_curve",
+]

@@ -1,0 +1,44 @@
+"""Branch-prediction confidence estimation (Jacobsen/Rotenberg/Smith).
+
+Used by the extension experiments around paper Appendix A.2.2: a
+confidence estimate can gate whether a branch with speculative operands
+is allowed to complete early (risking a false misprediction) or must
+wait.  We implement the classic resetting-counter estimator: a table of
+counters incremented on a correct prediction and reset on a
+misprediction; confidence is "high" when the counter meets a threshold.
+"""
+
+from __future__ import annotations
+
+
+class ResettingCounterConfidence:
+    """Table of saturating resetting counters indexed by PC (xor history)."""
+
+    def __init__(
+        self,
+        index_bits: int = 12,
+        ceiling: int = 15,
+        threshold: int = 15,
+        use_history: bool = True,
+    ):
+        self.index_bits = index_bits
+        self.ceiling = ceiling
+        self.threshold = threshold
+        self.use_history = use_history
+        self._mask = (1 << index_bits) - 1
+        self.table = bytearray(1 << index_bits)
+
+    def _index(self, pc: int, history: int) -> int:
+        key = pc ^ history if self.use_history else pc
+        return key & self._mask
+
+    def high_confidence(self, pc: int, history: int = 0) -> bool:
+        return self.table[self._index(pc, history)] >= self.threshold
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        idx = self._index(pc, history)
+        if correct:
+            if self.table[idx] < self.ceiling:
+                self.table[idx] += 1
+        else:
+            self.table[idx] = 0

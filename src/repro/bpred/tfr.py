@@ -1,0 +1,135 @@
+"""True/False misprediction history (paper Appendix A.2.2, Figure 10).
+
+A *false misprediction* is a correctly predicted branch that executes
+with wrong speculative operands and therefore looks mispredicted.  The
+paper proposes predicting which misprediction events are false by
+monitoring per-branch true/false misprediction history in a table of
+16-bit shift registers (TFRs), indexed by PC or PC XOR global history.
+
+This module provides the TFR table, the statistics collectors for the
+three identification schemes (static per-branch, dynamic(pc),
+dynamic(xor)), and the cumulative-coverage curve computation that
+Figure 10 plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class TFRTable:
+    """2^index_bits-entry table of 16-bit true/false misprediction registers."""
+
+    def __init__(self, index_bits: int = 16, tfr_bits: int = 16, use_history: bool = False):
+        self.index_bits = index_bits
+        self.tfr_bits = tfr_bits
+        self.use_history = use_history
+        self._index_mask = (1 << index_bits) - 1
+        self._tfr_mask = (1 << tfr_bits) - 1
+        self.table = [0] * (1 << index_bits)
+
+    def _index(self, pc: int, history: int) -> int:
+        key = pc ^ history if self.use_history else pc
+        return key & self._index_mask
+
+    def pattern(self, pc: int, history: int = 0) -> int:
+        """Current TFR contents for this branch — the classification key."""
+        return self.table[self._index(pc, history)]
+
+    def record(self, pc: int, history: int, false_misprediction: bool) -> None:
+        """Shift the outcome of one misprediction event into the TFR."""
+        idx = self._index(pc, history)
+        bit = 1 if false_misprediction else 0
+        self.table[idx] = ((self.table[idx] << 1) | bit) & self._tfr_mask
+
+
+@dataclass
+class MispredictionStats:
+    """true/false misprediction counts per classification key."""
+
+    true_count: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    false_count: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, key: int, false_misprediction: bool) -> None:
+        if false_misprediction:
+            self.false_count[key] += 1
+        else:
+            self.true_count[key] += 1
+
+    @property
+    def total_true(self) -> int:
+        return sum(self.true_count.values())
+
+    @property
+    def total_false(self) -> int:
+        return sum(self.false_count.values())
+
+
+def coverage_curve(stats: MispredictionStats) -> list[tuple[float, float]]:
+    """Figure 10 curve: cumulative (true, false) misprediction fractions.
+
+    Keys are sorted from highest to lowest false-misprediction rate; each
+    point gives, after including that key, the fraction of all *true*
+    mispredictions delayed (x) versus all *false* mispredictions
+    detected (y).  A curve hugging the upper-left is better.
+    """
+    keys = set(stats.true_count) | set(stats.false_count)
+    total_true = stats.total_true or 1
+    total_false = stats.total_false or 1
+
+    def false_rate(key: int) -> float:
+        t = stats.true_count.get(key, 0)
+        f = stats.false_count.get(key, 0)
+        return f / (t + f)
+
+    ordered = sorted(keys, key=false_rate, reverse=True)
+    points = [(0.0, 0.0)]
+    cum_true = cum_false = 0
+    for key in ordered:
+        cum_true += stats.true_count.get(key, 0)
+        cum_false += stats.false_count.get(key, 0)
+        points.append((cum_true / total_true, cum_false / total_false))
+    return points
+
+
+def coverage_at_true_fraction(
+    curve: list[tuple[float, float]], true_fraction: float
+) -> float:
+    """False-misprediction coverage achievable while delaying at most
+    ``true_fraction`` of true mispredictions (linear interpolation)."""
+    prev_x, prev_y = curve[0]
+    for x, y in curve[1:]:
+        if x >= true_fraction:
+            if x == prev_x:
+                return y
+            frac = (true_fraction - prev_x) / (x - prev_x)
+            return prev_y + frac * (y - prev_y)
+        prev_x, prev_y = x, y
+    return curve[-1][1]
+
+
+class TFRCollector:
+    """Collects Figure 10 statistics for one identification scheme."""
+
+    def __init__(self, scheme: str, index_bits: int = 16):
+        if scheme not in ("static", "dynamic_pc", "dynamic_xor"):
+            raise ValueError(f"unknown TFR scheme {scheme!r}")
+        self.scheme = scheme
+        self.stats = MispredictionStats()
+        self._tfr: TFRTable | None = None
+        if scheme != "static":
+            self._tfr = TFRTable(
+                index_bits=index_bits, use_history=(scheme == "dynamic_xor")
+            )
+
+    def record(self, pc: int, history: int, false_misprediction: bool) -> None:
+        if self.scheme == "static":
+            key = pc
+        else:
+            key = self._tfr.pattern(pc, history)
+            self._tfr.record(pc, history, false_misprediction)
+        self.stats.record(key, false_misprediction)
+
+    def curve(self) -> list[tuple[float, float]]:
+        return coverage_curve(self.stats)

@@ -1,0 +1,14 @@
+"""Control-flow analysis: basic blocks, post-dominators, reconvergence."""
+
+from .dominators import immediate_dominators, immediate_post_dominators
+from .graph import EXIT_BLOCK, BasicBlock, ControlFlowGraph
+from .reconvergence import ReconvergenceTable
+
+__all__ = [
+    "EXIT_BLOCK",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "ReconvergenceTable",
+    "immediate_dominators",
+    "immediate_post_dominators",
+]

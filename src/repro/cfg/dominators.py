@@ -1,0 +1,100 @@
+"""Immediate (post-)dominator computation.
+
+Implements Cooper, Harvey & Kennedy's "A Simple, Fast Dominance
+Algorithm".  The generic routine works on any graph given a successor
+map; post-dominators are obtained by running it on the reverse CFG from
+a virtual exit node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def immediate_dominators(
+    nodes: Iterable[int],
+    successors: Mapping[int, Iterable[int]],
+    entry: int,
+) -> dict[int, int]:
+    """Return idom for every node reachable from ``entry``.
+
+    ``idom[entry] == entry``.  Nodes unreachable from ``entry`` are
+    absent from the result.
+    """
+    node_list = list(nodes)
+    preds: dict[int, list[int]] = {n: [] for n in node_list}
+    for n in node_list:
+        for s in successors.get(n, ()):
+            preds[s].append(n)
+
+    # Reverse post-order via iterative DFS.
+    order: list[int] = []
+    visited: set[int] = set()
+    stack: list[tuple[int, Iterable]] = [(entry, iter(successors.get(entry, ())))]
+    visited.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(successors.get(succ, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()  # reverse post-order
+    postorder_num = {n: i for i, n in enumerate(reversed(order))}
+
+    idom: dict[int, int] = {entry: entry}
+
+    def intersect(u: int, v: int) -> int:
+        while u != v:
+            while postorder_num[u] < postorder_num[v]:
+                u = idom[u]
+            while postorder_num[v] < postorder_num[u]:
+                v = idom[v]
+        return u
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(p, new_idom)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def immediate_post_dominators(
+    nodes: Iterable[int],
+    successors: Mapping[int, Iterable[int]],
+    exits: Iterable[int],
+    virtual_exit: int,
+) -> dict[int, int]:
+    """Return ipdom for every node from which an exit is reachable.
+
+    The reverse graph is rooted at ``virtual_exit``, which is connected
+    to every node in ``exits``.  ``ipdom[n] == virtual_exit`` means the
+    node's only post-dominator is program exit.  Nodes inside infinite
+    loops (no path to any exit) are absent.
+    """
+    node_list = list(nodes)
+    reverse: dict[int, list[int]] = {n: [] for n in node_list}
+    reverse[virtual_exit] = list(exits)
+    for n in node_list:
+        for s in successors.get(n, ()):
+            reverse[s].append(n)
+    all_nodes = node_list + [virtual_exit]
+    ipdom = immediate_dominators(all_nodes, reverse, virtual_exit)
+    ipdom.pop(virtual_exit, None)
+    return ipdom

@@ -1,0 +1,54 @@
+"""Branch -> reconvergent point mapping (paper Section 3.2.1).
+
+The reconvergent point of a conditional branch is the first instruction
+of the immediate post-dominator of the branch's basic block: the nearest
+point fetched regardless of the branch outcome.  This module plays the
+role of the paper's "software analysis of post-dominator information"
+that the detailed simulator consumes.
+
+Indirect jumps have no static reconvergent point here (their targets are
+unknown); the simulators fall back to a full squash for them, as do
+branches whose only post-dominator is program exit.
+"""
+
+from __future__ import annotations
+
+from ..isa import Program
+from .dominators import immediate_post_dominators
+from .graph import EXIT_BLOCK, ControlFlowGraph
+
+
+class ReconvergenceTable:
+    """Per-branch reconvergent PCs computed from post-dominator analysis."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.cfg = ControlFlowGraph(program)
+        successors = {b.index: b.successors for b in self.cfg.blocks}
+        ipdom = immediate_post_dominators(
+            (b.index for b in self.cfg.blocks),
+            successors,
+            self.cfg.exit_blocks(),
+            EXIT_BLOCK,
+        )
+        self._reconv_pc: dict[int, int] = {}
+        for pc, instr in enumerate(program.instructions):
+            if not instr.is_branch:
+                continue
+            block = self.cfg.block_at(pc).index
+            target = ipdom.get(block)
+            if target is None or target == EXIT_BLOCK:
+                continue
+            self._reconv_pc[pc] = self.cfg.blocks[target].start
+
+    def reconvergent_pc(self, branch_pc: int) -> int | None:
+        """Reconvergent PC for the branch at ``branch_pc`` (None if exit)."""
+        return self._reconv_pc.get(branch_pc)
+
+    def __len__(self) -> int:
+        return len(self._reconv_pc)
+
+    def coverage(self) -> float:
+        """Fraction of static conditional branches with a reconvergent point."""
+        branches = sum(1 for i in self.program.instructions if i.is_branch)
+        return len(self._reconv_pc) / branches if branches else 0.0

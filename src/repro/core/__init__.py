@@ -1,0 +1,34 @@
+"""Detailed execution-driven control-independence superscalar core."""
+
+from .config import (
+    CompletionModel,
+    CoreConfig,
+    Preemption,
+    ReconvPolicy,
+    RepredictMode,
+)
+from .golden import GoldenTrace
+from .lsq import LoadStoreQueue
+from .processor import CosimulationError, Processor, simulate_core
+from .regfile import PhysReg, RenameMap
+from .rob import DynInstr, ReorderBuffer, Segment
+from .stats import CoreStats
+
+__all__ = [
+    "CompletionModel",
+    "CoreConfig",
+    "CoreStats",
+    "CosimulationError",
+    "DynInstr",
+    "GoldenTrace",
+    "LoadStoreQueue",
+    "PhysReg",
+    "Preemption",
+    "Processor",
+    "ReconvPolicy",
+    "RenameMap",
+    "ReorderBuffer",
+    "RepredictMode",
+    "Segment",
+    "simulate_core",
+]

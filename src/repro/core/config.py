@@ -1,0 +1,115 @@
+"""Configuration for the detailed execution-driven simulator (paper Sec 4.1).
+
+Every appendix ablation is a knob here:
+
+* ``completion_model`` / ``hide_false_mispredictions`` — Appendix A.2's
+  seven branch-completion configurations (non-spec, spec-C, spec-D, spec
+  and their -HFM variants).
+* ``repredict_mode`` — Appendix A.3.2's CI-NR / CI / CI-OR.
+* ``segment_size`` — Appendix A.4's segmented reorder buffer.
+* ``reconv_policy`` — Appendix A.5's hardware heuristics versus software
+  post-dominator information.
+* ``preemption`` — Appendix A.1's simple versus optimal preemption.
+* ``instant_redispatch`` — Section 4.2's CI-I machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ideal.models import DEFAULT_LATENCIES
+
+
+class CompletionModel(enum.Enum):
+    """When a branch may complete and trigger recovery (Appendix A.2.1)."""
+
+    NON_SPEC = "non-spec"  # in-order branches + all older stores resolved
+    SPEC_D = "spec-D"  # in-order branches, data-speculative operands allowed
+    SPEC_C = "spec-C"  # out-of-order branches, no data-speculative operands
+    SPEC = "spec"  # complete whenever the outcome is computed
+
+    @property
+    def branches_in_order(self) -> bool:
+        return self in (CompletionModel.NON_SPEC, CompletionModel.SPEC_D)
+
+    @property
+    def requires_resolved_stores(self) -> bool:
+        return self in (CompletionModel.NON_SPEC, CompletionModel.SPEC_C)
+
+
+class RepredictMode(enum.Enum):
+    """Re-predict sequences during redispatch (Appendix A.3.2)."""
+
+    NONE = "CI-NR"  # initial predictions kept until branches complete
+    HEURISTIC = "CI"  # predictor re-predicts; completed branches force it
+    ORACLE = "CI-OR"  # correct predictions are never overturned
+
+
+class ReconvPolicy(enum.Enum):
+    """How reconvergent points are identified (Sec 3.2.1 + Appendix A.5)."""
+
+    NONE = "none"  # complete squash (the BASE machine)
+    POSTDOM = "postdom"  # software post-dominator analysis
+    RETURN = "return"  # predicted targets of returns
+    LOOP = "loop"  # predicted targets of backward branches
+    LTB = "ltb"  # not-taken target of mispredicted backward branches
+    RETURN_LOOP = "return/loop"
+    RETURN_LTB = "return/ltb"
+    LOOP_LTB = "loop/ltb"
+    RETURN_LOOP_LTB = "return/loop/ltb"
+
+    @property
+    def uses_return(self) -> bool:
+        return "return" in self.value
+
+    @property
+    def uses_loop(self) -> bool:
+        return "loop" in self.value and self is not ReconvPolicy.LTB
+
+    @property
+    def uses_ltb(self) -> bool:
+        return "ltb" in self.value
+
+    @property
+    def exploits_ci(self) -> bool:
+        return self is not ReconvPolicy.NONE
+
+
+class Preemption(enum.Enum):
+    """Handling of mispredictions during an active restart (Appendix A.1)."""
+
+    SIMPLE = "simple"
+    OPTIMAL = "optimal"
+
+
+@dataclass
+class CoreConfig:
+    """Full configuration of the detailed processor."""
+
+    window_size: int = 256
+    width: int = 16  # fetch/dispatch/issue/retire width
+    segment_size: int = 1  # ROB segment granularity (Appendix A.4)
+
+    reconv_policy: ReconvPolicy = ReconvPolicy.POSTDOM
+    completion_model: CompletionModel = CompletionModel.SPEC_C
+    hide_false_mispredictions: bool = False  # the -HFM oracle variants
+    repredict_mode: RepredictMode = RepredictMode.HEURISTIC
+    preemption: Preemption = Preemption.OPTIMAL
+    instant_redispatch: bool = False  # CI-I: 1-cycle redispatch
+    oracle_global_history: bool = False  # Appendix A.3.1
+
+    # Branch predictor geometry (paper: 2^16 gshare + CTB).
+    predictor_index_bits: int = 16
+
+    # Data cache (Sec 4.1): 64KB 4-way, 2-cycle hit, 14-cycle miss.
+    perfect_cache: bool = False
+    cache_size_bytes: int = 64 * 1024
+    cache_assoc: int = 4
+    cache_hit_latency: int = 2
+    cache_miss_latency: int = 14
+
+    latencies: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+
+    #: safety valve for runaway simulations
+    max_cycles: int = 20_000_000

@@ -1,0 +1,37 @@
+"""Golden (architectural) reference for the detailed simulator.
+
+One functional run per program provides: the retirement co-simulation
+reference, oracle outcomes for -HFM / CI-OR / oracle-global-history
+modes, and per-instance correct global branch history.
+"""
+
+from __future__ import annotations
+
+from ..bpred import GshareGlobalHistory
+from ..functional import TraceEntry, run
+from ..isa import Program
+
+
+class GoldenTrace:
+    """Architectural execution reference, indexed by retirement order."""
+
+    def __init__(self, program: Program, history_bits: int = 16, max_steps: int = 5_000_000):
+        self.program = program
+        self.entries: list[TraceEntry] = run(program, max_steps)
+        # Correct global history *before* each dynamic instruction
+        # (conditional-branch outcomes only, like the fetch-time GHR).
+        helper = GshareGlobalHistory(history_bits)
+        self.history_before: list[int] = []
+        history = 0
+        for entry in self.entries:
+            self.history_before.append(history)
+            if entry.instr.is_branch:
+                history = helper.push(history, entry.taken)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, index: int) -> TraceEntry | None:
+        if 0 <= index < len(self.entries):
+            return self.entries[index]
+        return None

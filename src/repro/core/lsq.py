@@ -1,0 +1,75 @@
+"""Load/store queue with insertion/removal and ordering repair.
+
+Implements the paper's aggressive memory model (Sec 4.1): loads issue
+ahead of unresolved stores, forwarding from the youngest older store
+with a matching resolved address, else reading committed memory.  When
+a store (re)executes, changes its address/value, or is selectively
+squashed out of the window, every younger load that already executed
+against an affected address is reissued — and its dependence chain
+follows through the register broadcast mechanism.
+
+Order between entries comes from the ROB's order keys, so entries
+inserted into the middle of the window by a restart sequence compare
+correctly (paper Appendix A.4.3's physical-to-logical translation).
+"""
+
+from __future__ import annotations
+
+from .rob import DynInstr
+
+
+class LoadStoreQueue:
+    """Tracks live loads and stores in the window."""
+
+    def __init__(self):
+        self._stores: dict[int, DynInstr] = {}
+        self._loads: dict[int, DynInstr] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, node: DynInstr) -> None:
+        if node.instr.is_store:
+            self._stores[node.uid] = node
+        elif node.instr.is_load:
+            self._loads[node.uid] = node
+
+    def drop(self, node: DynInstr) -> None:
+        self._stores.pop(node.uid, None)
+        self._loads.pop(node.uid, None)
+
+    # ------------------------------------------------------------------
+    def forward_source(self, load: DynInstr) -> DynInstr | None:
+        """Youngest older executed store matching the load's address."""
+        best: DynInstr | None = None
+        addr = load.addr
+        order = load.order
+        for store in self._stores.values():
+            if (
+                store.completed
+                and store.addr == addr
+                and store.order < order
+                and (best is None or store.order > best.order)
+            ):
+                best = store
+        return best
+
+    def unresolved_older_stores(self, node: DynInstr) -> bool:
+        """Any older store whose address is still unknown?"""
+        order = node.order
+        for store in self._stores.values():
+            if not store.completed and store.order < order:
+                return True
+        return False
+
+    def loads_affected_by(self, store: DynInstr, addrs: set[int]) -> list[DynInstr]:
+        """Younger loads that already executed against an affected address.
+
+        Conservative: any younger executed load whose address matches the
+        store's old or new address is reissued; the precise forwarding
+        check happens when the load re-executes.
+        """
+        order = store.order
+        out = []
+        for load in self._loads.values():
+            if load.order > order and load.addr in addrs and load.issue_count > 0:
+                out.append(load)
+        return out

@@ -1,0 +1,246 @@
+"""Reorder buffer for the detailed core (paper Section 3.2.2, App. A.4).
+
+The ROB is a doubly-linked list of dynamic instructions supporting
+insertion and removal at arbitrary points — the structure restart
+sequences need.  Logical order between any two entries is decided by
+spaced integer keys (renumbered when a gap is exhausted), which the
+load/store ordering logic and age-based scheduling rely on.
+
+Segmentation (Appendix A.4) is modeled for capacity: instructions are
+allocated into segments of ``segment_size`` entries; a partially used or
+partially squashed segment still occupies ``segment_size`` window slots,
+and a segment's slots are reclaimed only when every instruction in it
+has retired or been squashed.
+"""
+
+from __future__ import annotations
+
+from ..isa import Instruction
+
+_SPACING = 1 << 16
+
+
+class Segment:
+    """Capacity-accounting unit of the segmented ROB."""
+
+    __slots__ = ("live",)
+
+    def __init__(self):
+        self.live = 0
+
+
+class DynInstr:
+    """One dynamic instruction in flight."""
+
+    __slots__ = (
+        "uid",
+        "pc",
+        "instr",
+        "prev",
+        "next",
+        "order",
+        "segment",
+        # rename
+        "src1_tag",
+        "src2_tag",
+        "dest_tag",
+        "dest_arch",
+        "prev_tag",
+        # execution state
+        "dispatch_cycle",
+        "issue_count",
+        "inflight",
+        "completed",
+        "value",
+        "addr",
+        "prev_addr",
+        "store_value",
+        "fwd_store",
+        "retired",
+        "squashed",
+        "in_ready",
+        "src1_version",
+        "src2_version",
+        # control state
+        "predicted_taken",
+        "predicted_next_pc",
+        "history_used",
+        "ras_snapshot",
+        "current_taken",
+        "current_next_pc",
+        "outcome_taken",
+        "outcome_next_pc",
+        "recovering",
+        "first_issue_cycle",
+        "value_final_cycle",
+        "fetched_under_mp",
+        "issued_under_mp",
+        "reissued_after_mp",
+    )
+
+    def __init__(self, uid: int, pc: int, instr: Instruction):
+        self.uid = uid
+        self.pc = pc
+        self.instr = instr
+        self.prev = None
+        self.next = None
+        self.order = 0
+        self.segment = None
+        self.src1_tag = None
+        self.src2_tag = None
+        self.dest_tag = None
+        self.dest_arch = None
+        self.prev_tag = None
+        self.dispatch_cycle = 0
+        self.issue_count = 0
+        self.inflight = False
+        self.completed = False
+        self.value = None
+        self.addr = None
+        self.prev_addr = None
+        self.store_value = None
+        self.fwd_store = None
+        self.retired = False
+        self.squashed = False
+        self.in_ready = False
+        self.src1_version = -1
+        self.src2_version = -1
+        self.predicted_taken = False
+        self.predicted_next_pc = 0
+        self.history_used = 0
+        self.ras_snapshot = None
+        self.current_taken = False
+        self.current_next_pc = 0
+        self.outcome_taken = False
+        self.outcome_next_pc = 0
+        self.recovering = False
+        self.first_issue_cycle = -1
+        self.value_final_cycle = -1
+        self.fetched_under_mp = False
+        self.issued_under_mp = False
+        self.reissued_after_mp = False
+
+    @property
+    def alive(self) -> bool:
+        return not (self.retired or self.squashed)
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"<{self.uid}:{self.pc}:{self.instr.op.name}>"
+
+
+class ReorderBuffer:
+    """Doubly-linked list with order keys and segment capacity."""
+
+    def __init__(self, window_size: int, segment_size: int = 1):
+        if window_size % segment_size:
+            raise ValueError("window_size must be a multiple of segment_size")
+        self.window_size = window_size
+        self.segment_size = segment_size
+        self.head_sentinel = DynInstr(-1, -1, Instruction.__new__(Instruction))
+        self.tail_sentinel = DynInstr(-2, -1, Instruction.__new__(Instruction))
+        self.head_sentinel.next = self.tail_sentinel
+        self.tail_sentinel.prev = self.head_sentinel
+        self.head_sentinel.order = 0
+        self.tail_sentinel.order = 2 * _SPACING
+        self.count = 0  # live instructions
+        self.segments_allocated = 0
+
+    # ------------------------------------------------------------------
+    # capacity
+
+    @property
+    def slots_used(self) -> int:
+        if self.segment_size == 1:
+            return self.count
+        return self.segments_allocated * self.segment_size
+
+    @property
+    def full(self) -> bool:
+        return self.slots_used >= self.window_size
+
+    def alloc_into(self, segment: Segment | None) -> Segment:
+        """Return the segment a new instruction should occupy, allocating a
+        fresh one when ``segment`` is missing or full."""
+        if segment is None or segment.live >= self.segment_size:
+            segment = Segment()
+            self.segments_allocated += 1
+        return segment
+
+    def _release(self, node: DynInstr) -> None:
+        segment = node.segment
+        if segment is not None:
+            segment.live -= 1
+            if segment.live == 0:
+                self.segments_allocated -= 1
+
+    # ------------------------------------------------------------------
+    # list structure
+
+    def _renumber(self) -> None:
+        order = 0
+        node = self.head_sentinel
+        while node is not None:
+            node.order = order
+            order += _SPACING
+            node = node.next
+
+    def _place(self, node: DynInstr, after: DynInstr) -> None:
+        succ = after.next
+        node.prev = after
+        node.next = succ
+        after.next = node
+        succ.prev = node
+        lo, hi = after.order, succ.order
+        if hi - lo < 2:
+            self._renumber()
+            lo, hi = after.order, succ.order
+        node.order = (lo + hi) // 2
+
+    def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment:
+        """Link ``node`` after ``after``; returns the segment used."""
+        self._place(node, after)
+        segment = self.alloc_into(segment)
+        node.segment = segment
+        segment.live += 1
+        self.count += 1
+        return segment
+
+    def append(self, node: DynInstr, segment: Segment | None) -> Segment:
+        return self.insert_after(self.tail_sentinel.prev, node, segment)
+
+    def remove(self, node: DynInstr) -> None:
+        """Unlink a squashed instruction and release its window slot."""
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        self._release(node)
+        self.count -= 1
+
+    def retire(self, node: DynInstr) -> None:
+        """Unlink a retired instruction (same slot accounting as remove)."""
+        self.remove(node)
+
+    # ------------------------------------------------------------------
+    # traversal
+
+    @property
+    def head(self) -> DynInstr | None:
+        node = self.head_sentinel.next
+        return node if node is not self.tail_sentinel else None
+
+    @property
+    def tail(self) -> DynInstr | None:
+        node = self.tail_sentinel.prev
+        return node if node is not self.head_sentinel else None
+
+    def iter_from(self, node: DynInstr):
+        """Iterate from ``node`` (inclusive) to the tail."""
+        while node is not None and node is not self.tail_sentinel:
+            yield node
+            node = node.next
+
+    def iter_all(self):
+        yield from self.iter_from(self.head_sentinel.next)
+
+    def precedes(self, a: DynInstr, b: DynInstr) -> bool:
+        """True if ``a`` is logically older than ``b``."""
+        return a.order < b.order

@@ -1,0 +1,111 @@
+"""Statistics collected by the detailed simulator.
+
+Covers everything the paper's Section 4 tables report: IPC (Fig 5/6),
+restart/redispatch statistics (Table 2), work saved by control
+independence (Table 3) and issue counts by reissue cause (Table 4),
+plus the appendix measures (false mispredictions, restart durations,
+re-prediction behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    cycles: int = 0
+    retired: int = 0
+    fetched: int = 0
+
+    # --- misprediction / recovery accounting -------------------------
+    recoveries: int = 0  # all recovery events (true + false)
+    true_mispredictions: int = 0  # golden outcome really differed
+    false_mispredictions: int = 0  # correct prediction, wrong operands
+    reconverged_recoveries: int = 0  # found a reconvergent point in window
+    full_squashes: int = 0
+
+    # Table 2 ----------------------------------------------------------
+    removed_cd_instructions: int = 0  # squashed incorrect CD instructions
+    inserted_cd_instructions: int = 0  # fetched correct CD instructions
+    ci_instructions_preserved: int = 0  # CI instrs in window at recovery
+    ci_rename_repairs: int = 0  # CI instrs re-renamed during redispatch
+
+    # Table 3 (classified at retirement) -------------------------------
+    retired_fetch_saved: int = 0  # fetched before an older mp resolved
+    retired_work_saved: int = 0  # had final value before mp resolved
+    retired_work_discarded: int = 0  # had issued but reissued after mp
+    retired_only_fetched: int = 0  # fetched early, never issued early
+
+    # Table 4 ----------------------------------------------------------
+    issues_total: int = 0  # every issue event, incl. squashed work
+    issues_of_retired: int = 0  # total issues of instructions that retired
+    reissues_memory: int = 0  # loads squashed by stores
+    reissues_register: int = 0  # redispatch rename repairs
+
+    # Appendix ----------------------------------------------------------
+    restart_cycles_total: int = 0  # duration of restart sequences
+    restart_count: int = 0
+    preemptions: int = 0
+    repredict_overturned_correct: int = 0
+    repredict_events: int = 0
+    squashed_ci_for_restart: int = 0  # CI squashed youngest-first for room
+    sequence_repairs: int = 0  # commit-time next-PC check flushes
+
+    branch_events: int = 0  # conditional + indirect predictions retired
+    branch_mispredictions_retired: int = 0  # wrong prediction at retire time
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def issues_per_retired(self) -> float:
+        """Paper Table 4: how many times the retired instructions issued."""
+        return self.issues_of_retired / self.retired if self.retired else 0.0
+
+    @property
+    def reconverge_fraction(self) -> float:
+        if self.recoveries == 0:
+            return 0.0
+        return self.reconverged_recoveries / self.recoveries
+
+    @property
+    def avg_removed(self) -> float:
+        if self.reconverged_recoveries == 0:
+            return 0.0
+        return self.removed_cd_instructions / self.reconverged_recoveries
+
+    @property
+    def avg_inserted(self) -> float:
+        if self.reconverged_recoveries == 0:
+            return 0.0
+        return self.inserted_cd_instructions / self.reconverged_recoveries
+
+    @property
+    def avg_ci_preserved(self) -> float:
+        if self.reconverged_recoveries == 0:
+            return 0.0
+        return self.ci_instructions_preserved / self.reconverged_recoveries
+
+    @property
+    def avg_ci_rename_repairs(self) -> float:
+        if self.reconverged_recoveries == 0:
+            return 0.0
+        return self.ci_rename_repairs / self.reconverged_recoveries
+
+    @property
+    def avg_restart_cycles(self) -> float:
+        if self.restart_count == 0:
+            return 0.0
+        return self.restart_cycles_total / self.restart_count
+
+    def table3_fractions(self) -> dict[str, float]:
+        """Work saved by CI as fractions of retired instructions (Table 3)."""
+        denom = self.retired or 1
+        return {
+            "fetch_saved": self.retired_fetch_saved / denom,
+            "work_saved": self.retired_work_saved / denom,
+            "work_discarded": self.retired_work_discarded / denom,
+            "had_only_fetched": self.retired_only_fetched / denom,
+        }

@@ -1,0 +1,16 @@
+"""Functional (architectural) simulation: golden traces, wrong paths."""
+
+from .executor import ExecutionLimitExceeded, TraceEntry, run, step, trace_iter, wrong_path
+from .state import ArchState, Memory, OverlayMemory
+
+__all__ = [
+    "ArchState",
+    "ExecutionLimitExceeded",
+    "Memory",
+    "OverlayMemory",
+    "TraceEntry",
+    "run",
+    "step",
+    "trace_iter",
+    "wrong_path",
+]

@@ -1,0 +1,81 @@
+"""Architectural state for functional execution.
+
+Two flavours are provided:
+
+* :class:`ArchState` — the committed architectural state used for golden
+  traces and co-simulation.
+* :meth:`ArchState.fork` — a cheap speculative copy used to execute
+  wrong paths.  Registers are copied eagerly (64 ints); memory writes go
+  to a private overlay so the parent state is never disturbed.
+"""
+
+from __future__ import annotations
+
+from ..isa import NUM_REGS, REG_ZERO
+
+
+class Memory:
+    """Word-addressed data memory; uninitialised words read as zero."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, init: dict[int, int] | None = None):
+        self._words: dict[int, int] = dict(init) if init else {}
+
+    def read(self, addr: int) -> int:
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._words[addr] = value
+
+    def snapshot(self) -> dict[int, int]:
+        return dict(self._words)
+
+
+class OverlayMemory(Memory):
+    """Copy-on-write view over a base memory, for speculative execution."""
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: Memory):
+        super().__init__()
+        self._base = base
+
+    def read(self, addr: int) -> int:
+        if addr in self._words:
+            return self._words[addr]
+        return self._base.read(addr)
+
+    @property
+    def written_addrs(self) -> set[int]:
+        """Addresses written speculatively (the false memory-dependence set)."""
+        return set(self._words)
+
+
+class ArchState:
+    """Registers + memory + PC.  r0 is hardwired to zero."""
+
+    __slots__ = ("regs", "mem", "pc", "halted")
+
+    def __init__(
+        self,
+        mem: Memory | None = None,
+        pc: int = 0,
+        regs: list[int] | None = None,
+    ):
+        self.regs: list[int] = list(regs) if regs is not None else [0] * NUM_REGS
+        self.mem = mem if mem is not None else Memory()
+        self.pc = pc
+        self.halted = False
+
+    def read_reg(self, reg: int) -> int:
+        return 0 if reg == REG_ZERO else self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        if reg != REG_ZERO:
+            self.regs[reg] = value
+
+    def fork(self, pc: int) -> "ArchState":
+        """Speculative copy starting at ``pc`` (memory copy-on-write)."""
+        child = ArchState(mem=OverlayMemory(self.mem), pc=pc, regs=self.regs)
+        return child

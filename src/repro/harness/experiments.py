@@ -1,0 +1,405 @@
+"""Experiment runners: one function per paper table/figure.
+
+Every runner takes a ``scale`` (workload size multiplier) so the full
+study can be reproduced at laptop scale; the benchmark suite under
+``benchmarks/`` calls these with small scales and prints the same rows
+the paper reports.  Results are plain dicts, easy to format or assert
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bpred import TFRCollector
+from ..bpred.evaluate import measure_prediction
+from ..cfg import ReconvergenceTable
+from ..core import (
+    CompletionModel,
+    CoreConfig,
+    CoreStats,
+    GoldenTrace,
+    Preemption,
+    Processor,
+    ReconvPolicy,
+    RepredictMode,
+)
+from ..functional import run as run_functional
+from ..ideal.models import IdealConfig, IdealModel
+from ..ideal.scheduler import simulate as simulate_ideal
+from ..ideal.tracegen import AnnotatedTrace, annotate
+from ..workloads import WORKLOAD_NAMES, build_workload
+
+DETAILED_WINDOWS = (128, 256, 512)
+IDEAL_WINDOWS = (64, 128, 256, 512)
+
+
+@dataclass
+class WorkloadBundle:
+    """Shared per-workload artifacts reused across configurations."""
+
+    name: str
+    scale: float
+    program: object
+    golden: GoldenTrace
+    reconv: ReconvergenceTable
+    _annotated: AnnotatedTrace | None = field(default=None, repr=False)
+
+    def annotated(self) -> AnnotatedTrace:
+        if self._annotated is None:
+            self._annotated = annotate(self.program, reconv=self.reconv)
+        return self._annotated
+
+
+def load_bundle(name: str, scale: float) -> WorkloadBundle:
+    workload = build_workload(name, scale)
+    return WorkloadBundle(
+        name=name,
+        scale=scale,
+        program=workload.program,
+        golden=GoldenTrace(workload.program),
+        reconv=ReconvergenceTable(workload.program),
+    )
+
+
+def load_bundles(scale: float, names=WORKLOAD_NAMES) -> list[WorkloadBundle]:
+    return [load_bundle(name, scale) for name in names]
+
+
+def run_core(bundle: WorkloadBundle, config: CoreConfig) -> CoreStats:
+    """One detailed-machine simulation over a prepared bundle."""
+    return Processor(bundle.program, config, bundle.golden, bundle.reconv).run()
+
+
+# ----------------------------------------------------------------------
+# Table 1 — benchmark information
+
+
+def run_table1(scale: float = 1.0, names=WORKLOAD_NAMES) -> list[dict]:
+    rows = []
+    for name in names:
+        workload = build_workload(name, scale)
+        trace = run_functional(workload.program)
+        report = measure_prediction(trace)
+        rows.append(
+            {
+                "benchmark": name,
+                "instructions": len(trace),
+                "misprediction_rate": report.misprediction_rate,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — the six idealized models vs window size
+
+
+def run_figure3(
+    scale: float = 0.4,
+    windows=IDEAL_WINDOWS,
+    models=tuple(IdealModel),
+    names=WORKLOAD_NAMES,
+) -> dict:
+    """IPC[workload][model][window] for the Section 2 idealized study."""
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        trace = bundle.annotated()
+        per_model: dict = {}
+        for model in models:
+            per_model[model.value] = {
+                window: simulate_ideal(
+                    trace, model, IdealConfig(window_size=window)
+                ).ipc
+                for window in windows
+            }
+        out[name] = per_model
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 5 & 6 — detailed BASE / CI / CI-I
+
+
+def _detailed_machines() -> dict[str, CoreConfig]:
+    return {
+        "BASE": CoreConfig(reconv_policy=ReconvPolicy.NONE),
+        "CI": CoreConfig(reconv_policy=ReconvPolicy.POSTDOM),
+        "CI-I": CoreConfig(
+            reconv_policy=ReconvPolicy.POSTDOM, instant_redispatch=True
+        ),
+    }
+
+
+def run_figure5(
+    scale: float = 0.12, windows=DETAILED_WINDOWS, names=WORKLOAD_NAMES
+) -> dict:
+    """IPC[workload][machine][window] for BASE, CI and CI-I."""
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        per_machine: dict = {}
+        for machine, base_cfg in _detailed_machines().items():
+            per_machine[machine] = {}
+            for window in windows:
+                cfg = CoreConfig(**{**base_cfg.__dict__, "window_size": window})
+                per_machine[machine][window] = run_core(bundle, cfg).ipc
+        out[name] = per_machine
+    return out
+
+
+def run_figure6(figure5: dict) -> dict:
+    """Percent IPC improvement of CI over BASE, from figure-5 data."""
+    out: dict = {}
+    for name, machines in figure5.items():
+        out[name] = {
+            window: 100.0 * (machines["CI"][window] / machines["BASE"][window] - 1.0)
+            for window in machines["BASE"]
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tables 2, 3, 4 — restart statistics, work saved, reissue causes
+
+
+def run_table2(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
+    rows = []
+    for name in names:
+        bundle = load_bundle(name, scale)
+        stats = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "pct_reconverge": 100.0 * stats.reconverge_fraction,
+                "avg_removed": stats.avg_removed,
+                "avg_inserted": stats.avg_inserted,
+                "avg_ci": stats.avg_ci_preserved,
+                "avg_ci_renamed": stats.avg_ci_rename_repairs,
+            }
+        )
+    return rows
+
+
+def run_table3(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
+    rows = []
+    for name in names:
+        bundle = load_bundle(name, scale)
+        stats = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
+        )
+        rows.append({"benchmark": name, **stats.table3_fractions()})
+    return rows
+
+
+def run_table4(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
+    rows = []
+    for name in names:
+        bundle = load_bundle(name, scale)
+        base = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
+        )
+        ci = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "noci_total": base.issues_per_retired,
+                "noci_memory": base.reissues_memory / max(1, base.retired),
+                "ci_total": ci.issues_per_retired,
+                "ci_memory": ci.reissues_memory / max(1, ci.retired),
+                "ci_register": ci.reissues_register / max(1, ci.retired),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — simple vs optimal preemption
+
+
+def run_figure8(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        out[name] = {}
+        for label, preemption in (
+            ("simple", Preemption.SIMPLE),
+            ("optimal", Preemption.OPTIMAL),
+        ):
+            cfg = CoreConfig(
+                window_size=window,
+                reconv_policy=ReconvPolicy.POSTDOM,
+                preemption=preemption,
+            )
+            out[name][label] = run_core(bundle, cfg).ipc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — branch completion models and false mispredictions
+
+
+COMPLETION_CONFIGS = (
+    ("non-spec", CompletionModel.NON_SPEC, False),
+    ("spec-D", CompletionModel.SPEC_D, False),
+    ("spec-D-HFM", CompletionModel.SPEC_D, True),
+    ("spec-C", CompletionModel.SPEC_C, False),
+    ("spec-C-HFM", CompletionModel.SPEC_C, True),
+    ("spec", CompletionModel.SPEC, False),
+    ("spec-HFM", CompletionModel.SPEC, True),
+)
+
+
+def run_figure9(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        out[name] = {}
+        for label, model, hfm in COMPLETION_CONFIGS:
+            cfg = CoreConfig(
+                window_size=window,
+                reconv_policy=ReconvPolicy.POSTDOM,
+                completion_model=model,
+                hide_false_mispredictions=hfm,
+            )
+            out[name][label] = run_core(bundle, cfg).ipc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — TFR schemes for identifying false mispredictions
+
+
+def run_figure10(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
+    """Coverage curves per workload and scheme (static / dynamic pc / xor)."""
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        collectors = (
+            TFRCollector("static"),
+            TFRCollector("dynamic_pc"),
+            TFRCollector("dynamic_xor"),
+        )
+        cfg = CoreConfig(
+            window_size=window,
+            reconv_policy=ReconvPolicy.POSTDOM,
+            completion_model=CompletionModel.SPEC,
+        )
+        Processor(
+            bundle.program, cfg, bundle.golden, bundle.reconv, tfr_collectors=collectors
+        ).run()
+        out[name] = {c.scheme: c.curve() for c in collectors}
+        out[name]["counts"] = {
+            c.scheme: (c.stats.total_true, c.stats.total_false) for c in collectors
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — oracle global branch history
+
+
+def run_figure12(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        out[name] = {}
+        for label, oracle in (("timing", False), ("oracle-history", True)):
+            cfg = CoreConfig(
+                window_size=window,
+                reconv_policy=ReconvPolicy.POSTDOM,
+                oracle_global_history=oracle,
+            )
+            out[name][label] = run_core(bundle, cfg).ipc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — re-predict sequences
+
+
+def run_figure13(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        out[name] = {
+            "base": run_core(
+                bundle,
+                CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE),
+            ).ipc
+        }
+        for label, mode in (
+            ("CI-NR", RepredictMode.NONE),
+            ("CI", RepredictMode.HEURISTIC),
+            ("CI-OR", RepredictMode.ORACLE),
+        ):
+            cfg = CoreConfig(
+                window_size=window,
+                reconv_policy=ReconvPolicy.POSTDOM,
+                repredict_mode=mode,
+            )
+            out[name][label] = run_core(bundle, cfg).ipc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — segmented reorder buffers
+
+
+def run_figure14(
+    scale: float = 0.12, window: int = 256, segments=(1, 4, 16), names=WORKLOAD_NAMES
+) -> dict:
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        base = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
+        ).ipc
+        out[name] = {"base": base}
+        for seg in segments:
+            cfg = CoreConfig(
+                window_size=window,
+                reconv_policy=ReconvPolicy.POSTDOM,
+                segment_size=seg,
+            )
+            out[name][f"seg{seg}"] = run_core(bundle, cfg).ipc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — hardware reconvergence heuristics
+
+
+HEURISTIC_POLICIES = (
+    ReconvPolicy.RETURN,
+    ReconvPolicy.LOOP,
+    ReconvPolicy.LTB,
+    ReconvPolicy.RETURN_LOOP,
+    ReconvPolicy.RETURN_LTB,
+    ReconvPolicy.LOOP_LTB,
+    ReconvPolicy.RETURN_LOOP_LTB,
+    ReconvPolicy.POSTDOM,
+)
+
+
+def run_figure17(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+    """Percent IPC improvement over BASE per reconvergence policy."""
+    out: dict = {}
+    for name in names:
+        bundle = load_bundle(name, scale)
+        base = run_core(
+            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
+        ).ipc
+        out[name] = {}
+        for policy in HEURISTIC_POLICIES:
+            cfg = CoreConfig(window_size=window, reconv_policy=policy)
+            ipc = run_core(bundle, cfg).ipc
+            out[name][policy.value] = 100.0 * (ipc / base - 1.0)
+    return out

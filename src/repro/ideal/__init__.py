@@ -1,0 +1,19 @@
+"""Idealized machine models of paper Section 2."""
+
+from .models import DEFAULT_LATENCIES, IdealConfig, IdealModel, op_latency
+from .scheduler import IdealResult, IdealScheduler, simulate
+from .tracegen import AnnotatedTrace, Misprediction, WrongPathInstr, annotate
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "AnnotatedTrace",
+    "IdealConfig",
+    "IdealModel",
+    "IdealResult",
+    "IdealScheduler",
+    "Misprediction",
+    "WrongPathInstr",
+    "annotate",
+    "op_latency",
+    "simulate",
+]

@@ -1,0 +1,89 @@
+"""The six idealized machine models of paper Section 2.1.
+
+Two orthogonal knobs distinguish the four control-independence models:
+
+* ``WR`` (wasted resources): incorrect control-dependent instructions are
+  fetched, occupy window slots and consume issue bandwidth until the
+  misprediction is detected.
+* ``FD`` (false data dependences): registers and memory locations written
+  on the incorrect path poison control-independent consumers until the
+  misprediction is resolved (single-cycle repair at detection — the best
+  achievable, per the paper).
+
+``ORACLE`` uses perfect branch prediction; ``BASE`` squashes everything
+after a misprediction, like a conventional superscalar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class IdealModel(enum.Enum):
+    ORACLE = "oracle"
+    NWR_NFD = "nWR-nFD"
+    NWR_FD = "nWR-FD"
+    WR_NFD = "WR-nFD"
+    WR_FD = "WR-FD"
+    BASE = "base"
+
+    @property
+    def wastes_resources(self) -> bool:
+        return self in (IdealModel.WR_NFD, IdealModel.WR_FD, IdealModel.BASE)
+
+    @property
+    def false_dependences(self) -> bool:
+        return self in (IdealModel.NWR_FD, IdealModel.WR_FD)
+
+    @property
+    def exploits_ci(self) -> bool:
+        """True for the four control-independence models."""
+        return self not in (IdealModel.ORACLE, IdealModel.BASE)
+
+
+#: Default execution latencies by coarse op class (cycles in execute).
+DEFAULT_LATENCIES = {
+    "int": 1,
+    "mul": 3,
+    "div": 12,
+    "load": 2,  # 1 address generation + 1 perfect-cache access (Sec 2.2)
+    "store": 1,  # address generation
+    "branch": 1,
+    "jump": 1,
+}
+
+
+@dataclass
+class IdealConfig:
+    """Hardware constraints for the idealized study (paper Section 2.2)."""
+
+    window_size: int = 256
+    width: int = 16  # peak fetch, issue and retire rate
+    #: extra front-end stages between fetch and earliest issue (fetch+dispatch)
+    frontend_stages: int = 2
+    latencies: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    #: cap on speculatively fetched wrong-path instructions per misprediction
+    wrong_path_cap: int | None = None  # defaults to window_size
+
+    def wrong_path_limit(self) -> int:
+        return self.wrong_path_cap if self.wrong_path_cap is not None else self.window_size
+
+
+def op_latency(latencies: dict[str, int], op) -> int:
+    """Latency class lookup shared by both simulators."""
+    from ..isa import Op
+
+    if op is Op.MUL:
+        return latencies["mul"]
+    if op in (Op.DIV, Op.REM):
+        return latencies["div"]
+    if op is Op.LOAD:
+        return latencies["load"]
+    if op is Op.STORE:
+        return latencies["store"]
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        return latencies["branch"]
+    if op in (Op.JUMP, Op.CALL, Op.JR):
+        return latencies["jump"]
+    return latencies["int"]

@@ -1,0 +1,507 @@
+"""Cycle-level scheduler for the six idealized models (paper Section 2).
+
+The scheduler replays an :class:`~repro.ideal.tracegen.AnnotatedTrace`
+under the hardware constraints of Section 2.2: a W-entry instruction
+window, 16-wide fetch/issue/retire, a 5-stage pipeline, unlimited
+renaming, oracle memory disambiguation and a perfect data cache.  The
+six models differ only in how fetch and dependence repair behave around
+branch mispredictions:
+
+* ``oracle``    — mispredictions never happen.
+* ``base``      — every misprediction squashes everything younger.
+* ``nWR-*``     — oracle removes incorrect control-dependent (wrong-path)
+  instructions: fetch skips directly to the reconvergent point.
+* ``WR-*``      — wrong-path instructions are fetched, occupy the window
+  and issue bandwidth, and are squashed at detection.
+* ``*-FD``      — wrong-path register/memory writes poison matching
+  control-independent consumers until detection (+1 cycle repair).
+* ``*-nFD``     — false dependences are hidden by oracle.
+
+Mispredicted branches whose wrong path never reaches the reconvergent
+point (or that have none, e.g. indirect jumps) fall back to a full
+squash in every model, since the machine cannot locate control-
+independent work for them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..isa import Op
+from .models import IdealConfig, IdealModel, op_latency
+from .tracegen import NO_PRODUCER, AnnotatedTrace, Misprediction, decode_internal
+
+
+@dataclass
+class IdealResult:
+    """Output of one idealized-model simulation."""
+
+    model: IdealModel
+    window_size: int
+    cycles: int
+    retired: int
+    fetched_wrong_path: int = 0
+    full_squashes: int = 0
+    selective_squashes: int = 0
+    detections: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+class _Slot:
+    """One in-flight instruction instance in the window."""
+
+    __slots__ = (
+        "seq",
+        "mp_seq",
+        "wp_index",
+        "op",
+        "order",
+        "min_ready",
+        "pending",
+        "issued",
+        "completed",
+        "squashed",
+        "in_ready_heap",
+    )
+
+    def __init__(self, seq: int, mp_seq: int, wp_index: int, op: Op, order: int):
+        self.seq = seq  # correct-trace seq, or the parent branch seq for wp
+        self.mp_seq = mp_seq  # -1 for correct-path slots
+        self.wp_index = wp_index  # -1 for correct-path slots
+        self.op = op
+        self.order = order
+        self.min_ready = 0
+        self.pending = 0
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.in_ready_heap = False
+
+    @property
+    def is_correct(self) -> bool:
+        return self.mp_seq < 0
+
+
+class _Segment:
+    """A fetch source: a range of correct-trace seqs plus queued wrong-path
+    items, with optional stall on an unresolved full-squash branch."""
+
+    __slots__ = ("start", "end", "pos", "wp_queue", "stalled_on")
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+        self.pos = start
+        self.wp_queue: list[tuple[int, int]] = []  # (mp_seq, wp_index), FIFO
+        self.stalled_on: int | None = None
+
+
+class IdealScheduler:
+    """Simulates one (model, window) configuration over an annotated trace."""
+
+    def __init__(self, trace: AnnotatedTrace, model: IdealModel, config: IdealConfig):
+        self.trace = trace
+        self.model = model
+        self.config = config
+        self.latencies = config.latencies
+
+        n = len(trace)
+        self.n = n
+        self.cycle = 0
+        self.retire_ptr = 0
+        self.window_used = 0
+        self.order_counter = 0
+
+        self.active_correct: dict[int, _Slot] = {}  # unretired in-window slots
+        self.wp_slots: dict[int, list[_Slot]] = {}  # mp seq -> its wp slots
+        self.outstanding: dict[int, Misprediction] = {}  # undetected mps
+        self.detected_fd: dict[int, int] = {}  # mp seq -> detect cycle
+
+        self.completed_at: dict[object, int] = {}  # producer key -> cycle
+        self.waiters: dict[object, list[_Slot]] = {}
+        self.completing: dict[int, list[_Slot]] = {}
+        self.ready_heap: list[tuple[int, int, _Slot]] = []
+
+        self.frontier = _Segment(0, n)
+        self.segments: list[_Segment] = []  # pending/active restart segments
+
+        self.result = IdealResult(model, config.window_size, 0, 0)
+
+    # ------------------------------------------------------------------
+    # dependence plumbing
+
+    def _producer_key(self, code: int, mp_seq: int) -> object:
+        """Translate a producer code from the dependence graph to a key."""
+        if code >= 0:
+            return code
+        return ("w", mp_seq, decode_internal(code))
+
+    def _add_dep(self, slot: _Slot, key: object) -> None:
+        done = self.completed_at.get(key)
+        if done is not None:
+            if done > slot.min_ready:
+                slot.min_ready = done
+        else:
+            self.waiters.setdefault(key, []).append(slot)
+            slot.pending += 1
+
+    def _make_ready(self, slot: _Slot) -> None:
+        if slot.pending == 0 and not slot.issued and not slot.in_ready_heap:
+            slot.in_ready_heap = True
+            heapq.heappush(self.ready_heap, (slot.min_ready, slot.order, slot))
+
+    def _complete_key(self, key: object, cycle: int) -> None:
+        self.completed_at[key] = cycle
+        for waiter in self.waiters.pop(key, ()):  # wake dependents
+            if waiter.squashed:
+                continue
+            if cycle > waiter.min_ready:
+                waiter.min_ready = cycle
+            waiter.pending -= 1
+            self._make_ready(waiter)
+
+    # ------------------------------------------------------------------
+    # fetch
+
+    def _ci_case(self, mp: Misprediction) -> bool:
+        """Does the machine find control-independent work for this mp?
+
+        Requires a reconvergent point whose correct control-dependent
+        path fits in the window (otherwise the restart sequence would
+        evict every control-independent instruction — paper Table 2
+        counts exactly the mispredictions that reconverge *in window*),
+        and, for WR models, a wrong path that actually reaches it within
+        the fetch budget.
+        """
+        if not self.model.exploits_ci or mp.reconv_seq is None:
+            return False
+        if mp.reconv_seq - mp.seq >= self.config.window_size:
+            return False
+        if self.model.wastes_resources:
+            return (
+                mp.wp_reached_reconv
+                and len(mp.wrong_path) <= self.config.wrong_path_limit()
+            )
+        return True
+
+    def _fetch_correct(self, seq: int, source: _Segment) -> None:
+        trace = self.trace
+        entry = trace.entries[seq]
+        instr = entry.instr
+        slot = _Slot(seq, -1, -1, instr.op, self.order_counter)
+        self.order_counter += 1
+        slot.min_ready = self.cycle + self.config.frontend_stages
+        self.active_correct[seq] = slot
+        self.window_used += 1
+
+        for code in (trace.dep1[seq], trace.dep2[seq], trace.depm[seq]):
+            if code != NO_PRODUCER:
+                self._add_dep(slot, code)
+
+        # False data dependences from outstanding mispredictions (FD models).
+        if self.model.false_dependences and self.outstanding:
+            for mp in self.outstanding.values():
+                if mp.reconv_seq is None or seq < mp.reconv_seq:
+                    continue
+                if self._false_dep_hits(seq, mp):
+                    self._add_dep(slot, ("fd", mp.seq))
+
+        self._make_ready(slot)
+
+        if seq in trace.mispredictions:
+            self._on_fetch_misprediction(trace.mispredictions[seq], source)
+
+    def _false_dep_hits(self, seq: int, mp: Misprediction) -> bool:
+        trace = self.trace
+        instr = trace.entries[seq].instr
+        sources = instr.sources
+        if mp.false_regs:
+            if (
+                instr.rs1 in sources
+                and instr.rs1 in mp.false_regs
+                and trace.dep1[seq] <= mp.seq
+            ):
+                return True
+            if (
+                instr.rs2 in sources
+                and instr.rs2 in mp.false_regs
+                and trace.dep2[seq] <= mp.seq
+            ):
+                return True
+        if (
+            instr.is_load
+            and mp.false_addrs
+            and trace.entries[seq].addr in mp.false_addrs
+            and trace.depm[seq] <= mp.seq
+        ):
+            return True
+        return False
+
+    def _fetch_wrong(self, mp_seq: int, wp_index: int) -> None:
+        mp = self.trace.mispredictions[mp_seq]
+        item = mp.wrong_path[wp_index]
+        slot = _Slot(mp_seq, mp_seq, wp_index, item.entry.instr.op, self.order_counter)
+        self.order_counter += 1
+        slot.min_ready = self.cycle + self.config.frontend_stages
+        self.wp_slots.setdefault(mp_seq, []).append(slot)
+        self.window_used += 1
+        self.result.fetched_wrong_path += 1
+        for code in (item.src1, item.src2, item.mem):
+            if code != NO_PRODUCER:
+                self._add_dep(slot, self._producer_key(code, mp_seq))
+        self._make_ready(slot)
+
+    def _on_fetch_misprediction(self, mp: Misprediction, source: _Segment) -> None:
+        """A mispredicted control instruction was just fetched from ``source``."""
+        self.outstanding[mp.seq] = mp
+        wastes = self.model.wastes_resources
+        if self._ci_case(mp):
+            if wastes:
+                source.wp_queue.extend(
+                    (mp.seq, i) for i in range(len(mp.wrong_path))
+                )
+            # CI fetching resumes past the reconvergent point (skipping the
+            # correct CD path, which is released when the mp is detected).
+            if mp.reconv_seq > source.pos:
+                source.pos = min(mp.reconv_seq, source.end)
+        else:
+            # Full-squash misprediction: follow the predicted path as far as
+            # it goes (WR models), then stall until detection.
+            if wastes:
+                limit = min(len(mp.wrong_path), self.config.wrong_path_limit())
+                source.wp_queue.extend((mp.seq, i) for i in range(limit))
+                # base with a reconvergent wrong path keeps fetching the
+                # (doomed) post-reconvergence stream speculatively.
+                if (
+                    self.model is IdealModel.BASE
+                    and mp.reconv_seq is not None
+                    and mp.wp_reached_reconv
+                ):
+                    if mp.reconv_seq > source.pos:
+                        source.pos = min(mp.reconv_seq, source.end)
+                    return
+            source.stalled_on = mp.seq
+
+    def _next_fetch_item(self, source: _Segment):
+        """Next thing to fetch from this source, or None if exhausted/stalled.
+
+        Returns ('w', mp_seq, index) or ('c', seq).
+        """
+        if source.wp_queue:
+            return ("w", *source.wp_queue[0])
+        if source.stalled_on is not None:
+            return None
+        while source.pos < source.end and source.pos in self.active_correct:
+            source.pos += 1  # skip seqs already in the window
+        if source.pos >= source.end:
+            return None
+        return ("c", source.pos)
+
+    def _fetch_cycle(self) -> None:
+        budget = self.config.width
+        window = self.config.window_size
+        # Oldest work first: restart segments and the frontier compete by
+        # their next fetch position, and only the oldest source may evict
+        # younger window contents to make room (paper Section 3.2.2).
+        sources = sorted([*self.segments, self.frontier], key=lambda s: s.pos)
+        for index, source in enumerate(sources):
+            may_evict = index == 0
+            while budget > 0:
+                if self.window_used >= window:
+                    if not may_evict or not self._squash_youngest(source.pos):
+                        break
+                item = self._next_fetch_item(source)
+                if item is None:
+                    break
+                if item[0] == "w":
+                    source.wp_queue.pop(0)
+                    self._fetch_wrong(item[1], item[2])
+                else:
+                    source.pos += 1
+                    self._fetch_correct(item[1], source)
+                budget -= 1
+            if budget == 0:
+                break
+        self.segments = [s for s in self.segments if not self._segment_done(s)]
+
+    def _squash_youngest(self, needed_before: int) -> bool:
+        """Squash the youngest in-window correct instruction (seq greater
+        than ``needed_before``) so a restart sequence can proceed.  The
+        frontier is backed up so the victim is eventually refetched."""
+        youngest = max(self.active_correct, default=-1)
+        if youngest <= needed_before:
+            return False
+        slot = self.active_correct.pop(youngest)
+        slot.squashed = True
+        self.window_used -= 1
+        self.completed_at.pop(youngest, None)
+        if youngest in self.outstanding:
+            del self.outstanding[youngest]
+            self._squash_wrong_path(youngest)
+        if self.frontier.stalled_on is not None and self.frontier.stalled_on >= youngest:
+            self.frontier.stalled_on = None
+        self.frontier.pos = min(self.frontier.pos, youngest)
+        self.frontier.wp_queue = [
+            item for item in self.frontier.wp_queue if item[0] < youngest
+        ]
+        return True
+
+    def _segment_done(self, segment: _Segment) -> bool:
+        if segment.wp_queue or segment.stalled_on is not None:
+            return False
+        pos = segment.pos
+        while pos < segment.end and pos in self.active_correct:
+            pos += 1
+        segment.pos = pos
+        return pos >= segment.end
+
+    # ------------------------------------------------------------------
+    # issue / complete / detect
+
+    def _issue_cycle(self) -> None:
+        budget = self.config.width
+        heap = self.ready_heap
+        while heap and budget > 0:
+            min_ready, order, slot = heap[0]
+            if slot.squashed:
+                heapq.heappop(heap)
+                continue
+            if min_ready > self.cycle:
+                break
+            heapq.heappop(heap)
+            slot.in_ready_heap = False
+            if slot.issued:
+                continue
+            slot.issued = True
+            done = self.cycle + op_latency(self.latencies, slot.op)
+            self.completing.setdefault(done, []).append(slot)
+            budget -= 1
+
+    def _complete_cycle(self) -> None:
+        slots = self.completing.pop(self.cycle, None)
+        if not slots:
+            return
+        for slot in slots:
+            if slot.squashed:
+                continue
+            slot.completed = True
+            if slot.is_correct:
+                self._complete_key(slot.seq, self.cycle)
+                if slot.seq in self.outstanding:
+                    self._detect(self.outstanding.pop(slot.seq))
+            else:
+                self._complete_key(("w", slot.mp_seq, slot.wp_index), self.cycle)
+
+    def _detect(self, mp: Misprediction) -> None:
+        """Misprediction detected: recover according to the model."""
+        self.result.detections += 1
+        if self._ci_case(mp):
+            self._squash_wrong_path(mp.seq)
+            self.result.selective_squashes += 1
+            # Release the correct control-dependent path for fetch.
+            segment = _Segment(mp.seq + 1, mp.reconv_seq)
+            if not self._segment_done(segment):
+                self.segments.append(segment)
+            self.detected_fd[mp.seq] = self.cycle
+            self._complete_key(("fd", mp.seq), self.cycle + 1)
+        else:
+            self._full_squash(mp.seq)
+
+    def _squash_wrong_path(self, mp_seq: int) -> None:
+        for slot in self.wp_slots.pop(mp_seq, ()):
+            if not slot.squashed:
+                slot.squashed = True
+                self.window_used -= 1
+                self.completed_at.pop(("w", mp_seq, slot.wp_index), None)
+        # Drop any still-queued wrong-path fetch items for this mp.
+        for source in [*self.segments, self.frontier]:
+            if source.wp_queue:
+                source.wp_queue = [
+                    item for item in source.wp_queue if item[0] != mp_seq
+                ]
+
+    def _full_squash(self, branch_seq: int) -> None:
+        """Squash everything younger than ``branch_seq`` and refetch."""
+        self.result.full_squashes += 1
+        for seq in [s for s in self.active_correct if s > branch_seq]:
+            slot = self.active_correct.pop(seq)
+            slot.squashed = True
+            self.window_used -= 1
+            self.completed_at.pop(seq, None)
+        for mp_seq in [m for m in self.wp_slots if m >= branch_seq]:
+            self._squash_wrong_path(mp_seq)
+        for mp_seq in [m for m in self.outstanding if m > branch_seq]:
+            del self.outstanding[mp_seq]
+        # Cancel restart segments beyond the squash point; truncate those
+        # that span it (the frontier refetches everything past the branch).
+        kept: list[_Segment] = []
+        for segment in self.segments:
+            if segment.start > branch_seq:
+                continue
+            segment.end = min(segment.end, branch_seq + 1)
+            segment.wp_queue = [i for i in segment.wp_queue if i[0] <= branch_seq]
+            if segment.stalled_on is not None and segment.stalled_on >= branch_seq:
+                segment.stalled_on = None
+            if not self._segment_done(segment):
+                kept.append(segment)
+        self.segments = kept
+        self.frontier.pos = branch_seq + 1
+        self.frontier.wp_queue = []
+        self.frontier.stalled_on = None
+
+    # ------------------------------------------------------------------
+    # retire
+
+    def _retire_cycle(self) -> None:
+        budget = self.config.width
+        while budget > 0 and self.retire_ptr < self.n:
+            slot = self.active_correct.get(self.retire_ptr)
+            if slot is None or not slot.completed:
+                break
+            del self.active_correct[self.retire_ptr]
+            self.window_used -= 1
+            self.retire_ptr += 1
+            self.result.retired += 1
+            budget -= 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 50_000_000) -> IdealResult:
+        while self.retire_ptr < self.n:
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"{self.model.value}: exceeded {max_cycles} cycles "
+                    f"(retired {self.retire_ptr}/{self.n})"
+                )
+            self._complete_cycle()
+            self._retire_cycle()
+            self._issue_cycle()
+            self._fetch_cycle()
+            self.cycle += 1
+        self.result.cycles = self.cycle
+        return self.result
+
+
+def simulate(
+    trace: AnnotatedTrace,
+    model: IdealModel,
+    config: IdealConfig | None = None,
+    **config_kwargs,
+) -> IdealResult:
+    """Convenience wrapper: simulate one model over an annotated trace."""
+    if config is None:
+        config = IdealConfig(**config_kwargs)
+    if model is IdealModel.ORACLE:
+        trace = _strip_mispredictions(trace)
+    return IdealScheduler(trace, model, config).run()
+
+
+def _strip_mispredictions(trace: AnnotatedTrace) -> AnnotatedTrace:
+    """Oracle prediction: same trace with no misprediction annotations."""
+    return AnnotatedTrace(
+        trace.program, trace.entries, trace.dep1, trace.dep2, trace.depm, {}
+    )

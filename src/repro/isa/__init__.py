@@ -1,0 +1,41 @@
+"""Toy RISC ISA: opcodes, instruction semantics, programs, assembler."""
+
+from .assembler import AssemblerError, assemble, disassemble
+from .instructions import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    COND_BRANCH_OPS,
+    CONTROL_OPS,
+    MEMORY_OPS,
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    ExecResult,
+    Instruction,
+    Op,
+    evaluate,
+    to_signed,
+)
+from .program import Program
+
+__all__ = [
+    "ALU_RI_OPS",
+    "ALU_RR_OPS",
+    "COND_BRANCH_OPS",
+    "CONTROL_OPS",
+    "MEMORY_OPS",
+    "NUM_REGS",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "AssemblerError",
+    "ExecResult",
+    "Instruction",
+    "Op",
+    "Program",
+    "assemble",
+    "disassemble",
+    "evaluate",
+    "to_signed",
+]

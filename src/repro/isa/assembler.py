@@ -1,0 +1,230 @@
+"""Two-pass text assembler and disassembler for the toy ISA.
+
+Syntax, one instruction per line::
+
+        li   r1, 100          # comments with '#' or ';'
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        store r1, r2, 4       # mem[r2 + 4] = r1
+        load  r3, r2, 4       # r3 = mem[r2 + 4]
+        call  func            # ra = pc+1, jump to func
+        jr    ra              # return
+        halt
+
+Register aliases: ``zero`` (r0), ``ra`` (r63), ``sp`` (r62).
+Directives: ``.entry label`` sets the entry point, ``.data addr v0 v1 ...``
+initialises data memory words starting at ``addr``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    COND_BRANCH_OPS,
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    Instruction,
+    Op,
+)
+from .program import Program
+
+_REG_ALIASES = {"zero": REG_ZERO, "ra": REG_RA, "sp": REG_SP}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or resolution error, with line context."""
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    token = token.lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        n = int(token[1:])
+        if 0 <= n < NUM_REGS:
+            return n
+    raise AssemblerError(f"line {lineno}: bad register {token!r}")
+
+
+def _parse_imm(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad immediate {token!r}") from None
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program` (labels resolved)."""
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, list[str]]] = []  # (lineno, mnemonic, operands)
+    data: dict[int, int] = {}
+    entry_label: str | None = None
+
+    # Pass 1: strip comments, collect labels and instruction lines.
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(pending)
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].lower()
+        operands = parts[1:]
+        if mnemonic == ".entry":
+            if len(operands) != 1:
+                raise AssemblerError(f"line {lineno}: .entry takes one label")
+            entry_label = operands[0]
+            continue
+        if mnemonic == ".data":
+            if len(operands) < 2:
+                raise AssemblerError(f"line {lineno}: .data addr v0 [v1 ...]")
+            addr = _parse_imm(operands[0], lineno)
+            for offset, token in enumerate(operands[1:]):
+                data[addr + offset] = _parse_imm(token, lineno)
+            continue
+        pending.append((lineno, mnemonic, operands))
+
+    # Pass 2: encode.
+    instructions = [_encode(lineno, m, ops, labels) for lineno, m, ops in pending]
+    entry = 0
+    if entry_label is not None:
+        if entry_label not in labels:
+            raise AssemblerError(f".entry label {entry_label!r} undefined")
+        entry = labels[entry_label]
+    program = Program(instructions, labels=labels, data=data, entry=entry, name=name)
+    program.validate()
+    return program
+
+
+def _resolve_target(token: str, labels: dict[str, int], lineno: int) -> int:
+    if _LABEL_RE.match(token) and not (token.startswith("r") and token[1:].isdigit()):
+        if token not in labels:
+            raise AssemblerError(f"line {lineno}: undefined label {token!r}")
+        return labels[token]
+    return _parse_imm(token, lineno)
+
+
+def _expect(operands: list[str], count: int, mnemonic: str, lineno: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(
+            f"line {lineno}: {mnemonic} expects {count} operands, got {len(operands)}"
+        )
+
+
+def _encode(
+    lineno: int, mnemonic: str, operands: list[str], labels: dict[str, int]
+) -> Instruction:
+    try:
+        op = Op[mnemonic.upper()]
+    except KeyError:
+        raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}") from None
+
+    if op in ALU_RR_OPS:
+        _expect(operands, 3, mnemonic, lineno)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], lineno),
+            rs1=_parse_reg(operands[1], lineno),
+            rs2=_parse_reg(operands[2], lineno),
+        )
+    if op in ALU_RI_OPS:
+        if op is Op.LI:
+            _expect(operands, 2, mnemonic, lineno)
+            return Instruction(
+                op,
+                rd=_parse_reg(operands[0], lineno),
+                imm=_parse_imm(operands[1], lineno),
+            )
+        _expect(operands, 3, mnemonic, lineno)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], lineno),
+            rs1=_parse_reg(operands[1], lineno),
+            imm=_parse_imm(operands[2], lineno),
+        )
+    if op is Op.LOAD:
+        _expect(operands, 3, mnemonic, lineno)
+        return Instruction(
+            op,
+            rd=_parse_reg(operands[0], lineno),
+            rs1=_parse_reg(operands[1], lineno),
+            imm=_parse_imm(operands[2], lineno),
+        )
+    if op is Op.STORE:
+        _expect(operands, 3, mnemonic, lineno)
+        # store rs2(data), rs1(base), imm
+        return Instruction(
+            op,
+            rs2=_parse_reg(operands[0], lineno),
+            rs1=_parse_reg(operands[1], lineno),
+            imm=_parse_imm(operands[2], lineno),
+        )
+    if op in COND_BRANCH_OPS:
+        _expect(operands, 3, mnemonic, lineno)
+        return Instruction(
+            op,
+            rs1=_parse_reg(operands[0], lineno),
+            rs2=_parse_reg(operands[1], lineno),
+            target=_resolve_target(operands[2], labels, lineno),
+        )
+    if op is Op.JUMP:
+        _expect(operands, 1, mnemonic, lineno)
+        return Instruction(op, target=_resolve_target(operands[0], labels, lineno))
+    if op is Op.CALL:
+        _expect(operands, 1, mnemonic, lineno)
+        return Instruction(
+            op, rd=REG_RA, target=_resolve_target(operands[0], labels, lineno)
+        )
+    if op is Op.JR:
+        _expect(operands, 1, mnemonic, lineno)
+        return Instruction(op, rs1=_parse_reg(operands[0], lineno))
+    if op in (Op.NOP, Op.HALT):
+        _expect(operands, 0, mnemonic, lineno)
+        return Instruction(op)
+    raise AssemblerError(f"line {lineno}: unhandled mnemonic {mnemonic!r}")
+
+
+def disassemble(instr: Instruction, labels: dict[str, int] | None = None) -> str:
+    """Render one instruction back to assembler syntax."""
+    op = instr.op
+    name = op.name.lower()
+    target_names = {}
+    if labels:
+        target_names = {pc: label for label, pc in labels.items()}
+
+    def tgt() -> str:
+        return target_names.get(instr.target, str(instr.target))
+
+    if op in ALU_RR_OPS:
+        return f"{name} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+    if op is Op.LI:
+        return f"{name} r{instr.rd}, {instr.imm}"
+    if op in ALU_RI_OPS:
+        return f"{name} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op is Op.LOAD:
+        return f"{name} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op is Op.STORE:
+        return f"{name} r{instr.rs2}, r{instr.rs1}, {instr.imm}"
+    if op in COND_BRANCH_OPS:
+        return f"{name} r{instr.rs1}, r{instr.rs2}, {tgt()}"
+    if op in (Op.JUMP, Op.CALL):
+        return f"{name} {tgt()}"
+    if op is Op.JR:
+        return f"{name} r{instr.rs1}"
+    return name

@@ -1,0 +1,262 @@
+"""Instruction set for the reproduction's toy RISC machine.
+
+The paper's experiments run SPEC95 binaries compiled for the SimpleScalar
+PISA instruction set.  We substitute a small load/store RISC ISA that is
+sufficient to express the synthetic workloads while keeping the
+simulators simple and fast.  One instruction occupies one "word"; the
+program counter advances by 1 per instruction, and data memory is
+word-addressed.
+
+The module is deliberately free of any simulator state: the single-step
+semantics live in :func:`evaluate`, which both the functional simulator
+and the out-of-order core call, so there is exactly one definition of
+what each opcode does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+NUM_REGS = 64
+
+# Conventional register roles (mirrors common RISC ABIs).
+REG_ZERO = 0
+REG_RA = 63  # link register written by JAL / call
+REG_SP = 62  # stack pointer by convention (no hardware meaning)
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Wrap an arbitrary int to a signed 64-bit value."""
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << 64
+    return value
+
+
+class Op(enum.Enum):
+    """Every opcode in the ISA."""
+
+    # ALU register-register
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SLT = enum.auto()
+    # ALU register-immediate
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SLTI = enum.auto()
+    LI = enum.auto()
+    # Memory
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    # Control
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    JUMP = enum.auto()
+    CALL = enum.auto()  # direct call: writes return address to rd (ra)
+    JR = enum.auto()  # indirect jump through rs1 (returns, computed calls)
+    # Misc
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+ALU_RR_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SLT}
+)
+ALU_RI_OPS = frozenset(
+    {Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SLTI, Op.LI}
+)
+COND_BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+DIRECT_JUMP_OPS = frozenset({Op.JUMP, Op.CALL})
+CONTROL_OPS = COND_BRANCH_OPS | DIRECT_JUMP_OPS | {Op.JR}
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE})
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One static instruction.
+
+    ``target`` holds a resolved absolute PC for control instructions (the
+    assembler resolves labels).  ``imm`` is the immediate operand for ALU
+    and memory forms.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = 0
+    #: Optional source-level annotation (label of the enclosing block).
+    label: str = field(default="", compare=False)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches only."""
+        return self.op in COND_BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        """True for any instruction that can redirect fetch."""
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op is Op.JR
+
+    @property
+    def is_call(self) -> bool:
+        return self.op is Op.CALL
+
+    @property
+    def is_return(self) -> bool:
+        """Returns are indirect jumps through the link register."""
+        return self.op is Op.JR and self.rs1 == REG_RA
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Op.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def sources(self) -> tuple[int, ...]:
+        """Architectural source registers actually read by this instruction."""
+        op = self.op
+        if op in ALU_RR_OPS or op in COND_BRANCH_OPS:
+            return (self.rs1, self.rs2)
+        if op in ALU_RI_OPS:
+            return () if op is Op.LI else (self.rs1,)
+        if op is Op.LOAD or op is Op.JR:
+            return (self.rs1,)
+        if op is Op.STORE:
+            return (self.rs1, self.rs2)
+        return ()
+
+    @property
+    def dest(self) -> int | None:
+        """Architectural destination register, or None (writes to r0 discarded)."""
+        op = self.op
+        if op in ALU_RR_OPS or op in ALU_RI_OPS or op is Op.LOAD:
+            return self.rd if self.rd != REG_ZERO else None
+        if op is Op.CALL:
+            return self.rd if self.rd != REG_ZERO else None
+        return None
+
+
+@dataclass(slots=True)
+class ExecResult:
+    """Outcome of evaluating one instruction with concrete operand values.
+
+    ``value`` is the register result (None if the instruction writes no
+    register), ``taken``/``next_pc`` describe control flow, and ``addr``
+    is the effective address for memory operations.  For stores,
+    ``store_value`` carries the data to be written.
+    """
+
+    value: int | None = None
+    taken: bool = False
+    next_pc: int = 0
+    addr: int | None = None
+    store_value: int | None = None
+    halted: bool = False
+
+
+def _alu(op: Op, a: int, b: int) -> int:
+    if op in (Op.ADD, Op.ADDI, Op.LI):
+        return to_signed(a + b)
+    if op is Op.SUB:
+        return to_signed(a - b)
+    if op is Op.MUL:
+        return to_signed(a * b)
+    if op in (Op.DIV, Op.REM):
+        if b == 0:
+            return -1 if op is Op.DIV else a
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        if op is Op.DIV:
+            return to_signed(q)
+        return to_signed(a - q * b)
+    if op in (Op.AND, Op.ANDI):
+        return to_signed(a & b)
+    if op in (Op.OR, Op.ORI):
+        return to_signed(a | b)
+    if op in (Op.XOR, Op.XORI):
+        return to_signed(a ^ b)
+    if op in (Op.SLL, Op.SLLI):
+        return to_signed(a << (b & 63))
+    if op in (Op.SRL, Op.SRLI):
+        return to_signed((a & _WORD_MASK) >> (b & 63))
+    if op in (Op.SLT, Op.SLTI):
+        return 1 if a < b else 0
+    raise ValueError(f"not an ALU op: {op}")
+
+
+def evaluate(instr: Instruction, pc: int, a: int = 0, b: int = 0) -> ExecResult:
+    """Execute one instruction given concrete source values.
+
+    ``a`` and ``b`` are the values of ``rs1`` and ``rs2`` respectively
+    (ignored for opcodes that do not read them).  Memory is *not*
+    accessed here: loads report their effective address and the caller
+    supplies the loaded value; stores report address and data.
+
+    This is the single definition of instruction semantics shared by the
+    functional simulator (architectural execution) and the out-of-order
+    core (speculative execution with possibly-wrong operand values).
+    """
+    op = instr.op
+    if op in ALU_RR_OPS:
+        return ExecResult(value=_alu(op, a, b), next_pc=pc + 1)
+    if op in ALU_RI_OPS:
+        if op is Op.LI:
+            return ExecResult(value=to_signed(instr.imm), next_pc=pc + 1)
+        return ExecResult(value=_alu(op, a, instr.imm), next_pc=pc + 1)
+    if op is Op.LOAD:
+        return ExecResult(addr=to_signed(a + instr.imm), next_pc=pc + 1)
+    if op is Op.STORE:
+        return ExecResult(addr=to_signed(a + instr.imm), store_value=b, next_pc=pc + 1)
+    if op in COND_BRANCH_OPS:
+        if op is Op.BEQ:
+            taken = a == b
+        elif op is Op.BNE:
+            taken = a != b
+        elif op is Op.BLT:
+            taken = a < b
+        else:  # BGE
+            taken = a >= b
+        return ExecResult(taken=taken, next_pc=instr.target if taken else pc + 1)
+    if op is Op.JUMP:
+        return ExecResult(taken=True, next_pc=instr.target)
+    if op is Op.CALL:
+        return ExecResult(value=pc + 1, taken=True, next_pc=instr.target)
+    if op is Op.JR:
+        return ExecResult(taken=True, next_pc=to_signed(a))
+    if op is Op.NOP:
+        return ExecResult(next_pc=pc + 1)
+    if op is Op.HALT:
+        return ExecResult(next_pc=pc + 1, halted=True)
+    raise ValueError(f"unknown opcode: {op}")

@@ -1,0 +1,5 @@
+"""Memory system timing models."""
+
+from .cache import CacheStats, PerfectCache, SetAssociativeCache
+
+__all__ = ["CacheStats", "PerfectCache", "SetAssociativeCache"]

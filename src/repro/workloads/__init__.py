@@ -1,0 +1,48 @@
+"""Synthetic workloads standing in for the paper's SPEC95 benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import Program, assemble
+from . import kernels
+
+#: Order matches the paper's Table 1.
+WORKLOAD_NAMES = ("gcc", "go", "compress", "jpeg", "vortex")
+
+_BUILDERS = {
+    "gcc": kernels.gcc_like,
+    "go": kernels.go_like,
+    "compress": kernels.compress_like,
+    "jpeg": kernels.jpeg_like,
+    "vortex": kernels.vortex_like,
+}
+
+
+@dataclass
+class Workload:
+    """A named, assembled workload program."""
+
+    name: str
+    program: Program
+    scale: float
+
+
+def build_workload(name: str, scale: float = 1.0) -> Workload:
+    """Assemble the named workload at the given scale.
+
+    ``scale`` multiplies the main trip counts; 1.0 yields a few tens of
+    thousands of dynamic instructions per workload.
+    """
+    if name not in _BUILDERS:
+        raise ValueError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    source = _BUILDERS[name](scale)
+    return Workload(name=name, program=assemble(source, name=name), scale=scale)
+
+
+def build_all(scale: float = 1.0) -> list[Workload]:
+    """All five workloads, in the paper's Table 1 order."""
+    return [build_workload(name, scale) for name in WORKLOAD_NAMES]
+
+
+__all__ = ["WORKLOAD_NAMES", "Workload", "build_all", "build_workload", "kernels"]

@@ -1,0 +1,422 @@
+"""Synthetic workload kernels standing in for the paper's SPEC95 suite.
+
+The paper evaluates gcc, go, compress, ijpeg and vortex.  Those binaries
+(and SimpleScalar) are unavailable here, so each kernel below is written
+in the toy ISA to reproduce the *property* the paper's analysis leans on
+for that benchmark:
+
+* ``go_like`` — frequent data-dependent, hard-to-predict branches
+  (paper: 16.7% misprediction rate, biggest CI benefit).
+* ``compress_like`` — a long serial dependence chain through a rolling
+  state plus store->load traffic through a hash table, producing the
+  memory-ordering-violation pathology the paper observes.
+* ``gcc_like`` — irregular control flow: a bytecode interpreter with a
+  compare-chain dispatch, calls and varied handlers (moderate
+  predictability).
+* ``jpeg_like`` — predictable loop nests rich in ILP (independent
+  accumulators), with an occasional data-dependent saturation branch.
+* ``vortex_like`` — database-ish record scan whose branches are ~99%
+  biased (paper: 1.4% misprediction rate, least CI benefit).
+
+All data inputs are generated from seeded PRNGs, so every run is
+deterministic.  ``scale`` multiplies the main trip counts; the default
+scale targets a few tens of thousands of dynamic instructions, which is
+enough for the statistics to be stationary while staying fast in pure
+Python (see DESIGN.md on workload sizing).
+"""
+
+from __future__ import annotations
+
+import random
+
+# LCG constants (Knuth's MMIX) used for in-program pseudo-random streams.
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+def _data_lines(base: int, values: list[int], per_line: int = 16) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = values[i : i + per_line]
+        lines.append(f".data {base + i} " + " ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+def go_like(scale: float = 1.0) -> str:
+    """Game-tree-ish kernel: branches keyed to pseudo-random data."""
+    moves = max(16, int(700 * scale))
+    rng = random.Random(0x60)
+    # Mostly positive cells: the eval loop's sign branch is biased ~85/15,
+    # like real evaluation code, while the move branches stay random.
+    board = [rng.randrange(-12, 60) for _ in range(256)]
+    board_base = 4096
+    return f"""
+    .entry main
+{_data_lines(board_base, board)}
+main:
+    li   r1, 88172645463325252     # LCG state
+    li   r10, {moves}              # moves to play
+    li   r20, {LCG_MUL}
+    li   r21, {LCG_ADD}
+    li   r6, 0                     # positional score
+    li   r9, 0                     # running evaluation
+    li   r19, 0                    # captures (written on aggressive path only)
+    li   r23, 0                    # penalties (written on bad-cell path only)
+outer:
+    mul  r1, r1, r20               # advance LCG
+    add  r1, r1, r21
+    srli r3, r1, 33                # high random bits
+    andi r5, r3, 7                 # low random bits: rare aggressive move
+    beq  r5, r0, quiet_move
+    addi r6, r6, 3                 # aggressive move: long CD path
+    andi r7, r3, 255
+    load r8, r7, {board_base}
+    add  r6, r6, r8
+    addi r17, r7, 1                # examine the neighbouring cell too
+    andi r17, r17, 255
+    load r18, r17, {board_base}
+    add  r6, r6, r18
+    addi r19, r19, 1               # one-sided: captures counter
+    addi r18, r18, 8               # bump the cell, preserving its low bits
+    store r18, r17, {board_base}   # one-sided speculative board update
+    jump move_done
+quiet_move:
+    addi r6, r6, 1
+move_done:
+    andi r7, r3, 255               # probe a board cell
+    load r8, r7, {board_base}
+    blt  r8, r6, bad_cell          # data-dependent compare
+    add  r9, r9, r8
+    call eval_fn
+    jump probe_done
+bad_cell:
+    sub  r9, r9, r8                # losing position: long repair path
+    addi r6, r6, 2
+    srli r16, r8, 1
+    sub  r9, r9, r16
+    addi r23, r23, 1               # one-sided: penalty counter
+    xor  r16, r9, r6
+    andi r16, r16, 255
+probe_done:
+    add  r9, r9, r19               # CI consumers of the one-sided counters
+    add  r9, r9, r23
+    andi r5, r3, 6                 # random bits: usually skip the commit
+    bne  r5, r0, no_commit
+    ori  r22, r9, 1                # committed cells keep a nonzero low bit
+    andi r22, r22, 63
+    store r22, r7, {board_base}
+no_commit:
+    andi r5, r3, 12                # 2 more random bits: rare deep search
+    bne  r5, r0, next_move
+    call eval_fn
+    call eval_fn
+next_move:
+    addi r10, r10, -1
+    bne  r10, r0, outer
+    store r9, r0, 64
+    halt
+
+eval_fn:                           # evaluate a few cells around r7
+    li   r15, 4
+    li   r16, 0
+eval_loop:
+    add  r17, r7, r15
+    andi r17, r17, 255
+    load r18, r17, {board_base}
+    andi r24, r18, 7               # ~12% taken, data-dependent
+    beq  r24, r0, eval_neg
+    add  r16, r16, r18
+    jump eval_next
+eval_neg:
+    sub  r16, r16, r18
+eval_next:
+    addi r15, r15, -1
+    bne  r15, r0, eval_loop
+    add  r9, r9, r16
+    jr   ra
+"""
+
+
+def compress_like(scale: float = 1.0) -> str:
+    """LZW-flavoured kernel: serial state chain + hash-table aliasing.
+
+    The hash table is deliberately small (32 entries) so in-flight
+    iterations frequently touch the same slots: wrong-path installs
+    collide with control-independent probes (false memory dependences)
+    and speculative loads frequently bypass older stores to the same
+    address — the paper's compress memory-ordering pathology.
+    """
+    symbols = max(32, int(1400 * scale))
+    table_base = 8192
+    out_base = 7168
+    freq_base = 6144
+    return f"""
+    .entry main
+main:
+    li   r1, 123456789             # compressor rolling state ("ent")
+    li   r2, 362436069             # input LCG state
+    li   r10, {symbols}
+    li   r20, {LCG_MUL}
+    li   r21, {LCG_ADD}
+    li   r7, 0                     # free-entry counter (miss path only)
+    li   r8, 0                     # hit counter (hit path only)
+    li   r15, 0                    # output checksum
+loop:
+    mul  r2, r2, r20               # next input symbol (independent chain)
+    add  r2, r2, r21
+    srli r3, r2, 40
+    andi r3, r3, 255
+    slli r4, r1, 3                 # hash = state*8 + sym
+    add  r4, r4, r3
+    andi r5, r4, 31                # tiny hot table: heavy slot reuse
+    load r6, r5, {table_base}      # probe hash table
+    add  r11, r6, r3               # partial-tag match: data-dependent,
+    andi r11, r11, 15              # ~12% taken, unlearnable
+    beq  r11, r0, hit
+    store r4, r5, {table_base}     # miss: install entry (aliases CI probes)
+    addi r7, r7, 1                 # one-sided: free-entry counter
+    andi r17, r3, 31               # one-sided frequency update: parallel
+    load r18, r17, {freq_base}     # work that a wrong-path miss poisons
+    addi r18, r18, 1
+    store r18, r17, {freq_base}
+    andi r14, r4, 4095
+    store r14, r13, {out_base}     # emit the pending code
+    andi r13, r7, 63               # advance output cursor
+    add  r1, r6, r3                # prefix chains THROUGH the table load:
+    andi r1, r1, 255               # the serial chain runs through memory.
+    jump next                      # Only the miss arm writes r1, so a
+hit:                               # wrong-path miss falsifies later hashes.
+    addi r8, r8, 1                 # one-sided: hit counter
+    add  r15, r15, r6              # use the matched entry; prefix unchanged
+next:
+    andi r17, r3, 31               # model statistics: control-independent
+    load r19, r17, {freq_base}     # probe of the frequency table
+    add  r16, r19, r7
+    add  r15, r15, r16
+    xor  r15, r15, r3
+    andi r15, r15, 65535
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    store r7, r0, 64
+    store r8, r0, 65
+    store r15, r0, 66
+    halt
+"""
+
+
+def gcc_like(scale: float = 1.0) -> str:
+    """Bytecode interpreter: irregular control flow and calls."""
+    passes = max(2, int(24 * scale))
+    rng = random.Random(0x6CC)
+    # Compiler IR has strong local idiom structure: build the bytecode from
+    # a small library of phrases so gshare can learn within-phrase dispatch
+    # while phrase boundaries stay moderately unpredictable (paper gcc: 8.3%).
+    phrases = [
+        [rng.choices(range(1, 8), weights=[30, 20, 15, 12, 10, 8, 5])[0]
+         for _ in range(rng.randrange(4, 9))]
+        for _ in range(7)
+    ]
+    opcodes: list[int] = []
+    while len(opcodes) < 150:
+        opcodes.extend(rng.choice(phrases))
+    opcodes.append(0)  # terminator
+    code_base = 16384
+    env_base = 20480
+    env = [rng.randrange(0, 1 << 16) for _ in range(64)]
+    return f"""
+    .entry main
+{_data_lines(code_base, opcodes)}
+{_data_lines(env_base, env)}
+main:
+    li   r10, {passes}             # interpretation passes
+    li   r12, 0                    # accumulator
+run_pass:
+    li   r1, 0                     # bytecode pc
+dispatch:
+    load r2, r1, {code_base}
+    addi r1, r1, 1
+    beq  r2, r0, pass_done
+    li   r3, 1
+    beq  r2, r3, op_add
+    li   r3, 2
+    beq  r2, r3, op_load
+    li   r3, 3
+    beq  r2, r3, op_store
+    li   r3, 4
+    beq  r2, r3, op_call
+    li   r3, 5
+    beq  r2, r3, op_branchy
+    li   r3, 6
+    beq  r2, r3, op_shift
+    jump op_misc                   # opcode 7
+op_add:
+    add  r12, r12, r1
+    addi r12, r12, 13
+    jump dispatch
+op_load:
+    andi r4, r12, 63
+    load r5, r4, {env_base}
+    add  r12, r12, r5
+    jump dispatch
+op_store:
+    andi r4, r1, 63
+    store r12, r4, {env_base}
+    jump dispatch
+op_call:
+    call helper
+    jump dispatch
+op_branchy:
+    andi r4, r1, 7                 # position-dependent inner branch
+    beq  r4, r0, ob_zero
+    addi r12, r12, 7
+    jump dispatch
+ob_zero:
+    srli r12, r12, 1
+    jump dispatch
+op_shift:
+    slli r5, r12, 1
+    xor  r12, r12, r5
+    andi r12, r12, 65535
+    andi r4, r12, 1                # chaotic parity branch
+    beq  r4, r0, dispatch
+    xori r12, r12, 3
+    jump dispatch
+op_misc:
+    sub  r12, r12, r1
+    andi r4, r12, 7
+    bne  r4, r0, dispatch          # ~87% taken data branch
+    xori r12, r12, 21845
+    jump dispatch
+pass_done:
+    addi r10, r10, -1
+    bne  r10, r0, run_pass
+    store r12, r0, 64
+    halt
+
+helper:                            # environment mixing helper
+    andi r13, r12, 63
+    load r14, r13, {env_base}
+    add  r14, r14, r12
+    andi r14, r14, 65535
+    store r14, r13, {env_base}
+    andi r15, r14, 15
+    bne  r15, r0, helper_out       # ~94% taken data branch
+    addi r12, r12, 3
+helper_out:
+    jr   ra
+"""
+
+
+def jpeg_like(scale: float = 1.0) -> str:
+    """DCT-ish loop nest: predictable branches, independent accumulators."""
+    blocks = max(4, int(80 * scale))
+    rng = random.Random(0x3FE6)
+    img = [rng.randrange(0, 256) for _ in range(2048)]
+    img_base = 24576
+    out_base = 28672
+    return f"""
+    .entry main
+{_data_lines(img_base, img)}
+main:
+    li   r10, {blocks}             # 64-pixel blocks
+    li   r3, 0                     # pixel index
+    li   r9, 181                   # dct coefficient
+    li   r19, 0                    # saturation count (clamp path only)
+block:
+    andi r3, r3, 2047              # wrap once per block (keeps ILP high)
+    li   r2, 16                    # 16 iterations x 4 pixels unrolled
+    li   r11, 0                    # four independent accumulators
+    li   r12, 0
+    li   r13, 0
+    li   r14, 0
+    li   r15, 43000                # saturation threshold (~7% of pixels)
+inner:
+    load r4, r3, {img_base}
+    mul  r5, r4, r9
+    add  r11, r11, r5
+    load r4, r3, {img_base + 1}
+    mul  r5, r4, r9
+    add  r12, r12, r5
+    load r4, r3, {img_base + 2}
+    mul  r5, r4, r9
+    add  r13, r13, r5
+    load r4, r3, {img_base + 3}
+    mul  r5, r4, r9
+    blt  r5, r15, no_sat           # saturation: biased but data-dependent
+    sub  r16, r5, r15              # clamp path: fold the excess back
+    srli r16, r16, 4
+    li   r5, 43000
+    sub  r5, r5, r16
+    addi r19, r19, 1               # one-sided: saturation statistics
+no_sat:
+    add  r14, r14, r5
+    addi r3, r3, 4
+    addi r2, r2, -1
+    bne  r2, r0, inner
+    add  r16, r11, r12             # combine and emit the block
+    add  r17, r13, r14
+    add  r16, r16, r17
+    srli r16, r16, 8
+    add  r16, r16, r19             # CI consumer of the saturation count
+    andi r18, r10, 255
+    store r16, r18, {out_base}
+    addi r10, r10, -1
+    bne  r10, r0, block
+    store r16, r0, 64
+    halt
+"""
+
+
+def vortex_like(scale: float = 1.0) -> str:
+    """Record scan with ~99%-biased validity checks and lookup calls."""
+    records = max(32, int(900 * scale))
+    rng = random.Random(0x40F)
+    # Low 7 bits are zero for ~1/128 records -> rarely-taken invalid path.
+    recs = [rng.randrange(0, 1 << 20) for _ in range(512)]
+    rec_base = 32768
+    idx_base = 36864
+    out_base = 40960
+    index = [rng.randrange(0, 512) for _ in range(256)]
+    return f"""
+    .entry main
+{_data_lines(rec_base, recs)}
+{_data_lines(idx_base, index)}
+main:
+    li   r10, {records}
+    li   r1, 0                     # record cursor
+    li   r8, 0                     # invalid count
+    li   r9, 0                     # checksum
+    li   r11, 2463534242           # corruption LCG state
+    li   r20, {LCG_MUL}
+    li   r21, {LCG_ADD}
+loop:
+    andi r2, r1, 511
+    load r3, r2, {rec_base}        # fetch record
+    mul  r11, r11, r20             # simulate rare record corruption
+    add  r11, r11, r21
+    srli r4, r11, 43
+    andi r4, r4, 63
+    bne  r4, r0, valid             # ~98% taken, unlearnable residue
+    addi r8, r8, 1                 # rare invalid path
+    jump next
+valid:
+    call lookup
+    add  r9, r9, r5
+    andi r6, r1, 255
+    store r9, r6, {out_base}
+next:
+    addi r1, r1, 1
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    store r9, r0, 64
+    store r8, r0, 65
+    halt
+
+lookup:                            # indexed secondary fetch
+    andi r5, r3, 255
+    load r6, r5, {idx_base}
+    load r5, r6, {rec_base}
+    srli r5, r5, 4
+    andi r5, r5, 4095
+    jr   ra
+"""

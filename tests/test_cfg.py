@@ -1,0 +1,187 @@
+"""CFG / post-dominator / reconvergence tests, including the paper's
+Figure 1 diamond."""
+
+from hypothesis import given, strategies as st
+
+from repro.cfg import (
+    ControlFlowGraph,
+    ReconvergenceTable,
+    immediate_dominators,
+    immediate_post_dominators,
+)
+from repro.isa import Op, assemble
+
+FIGURE1 = """
+    # paper Figure 1: block1 branches to block2 or block3; both reach block4
+    .entry b1
+b1:
+    addi r5, r0, 1        # r5 <=
+    beq  r1, r0, b3
+b2:
+    addi r5, r0, 2        # incorrect CD path writes r5 (false dep)
+    addi r4, r0, 0
+    jump b4
+b3:
+    addi r4, r0, 3        # correct CD path writes r4 (true dep)
+b4:
+    add  r6, r4, r5
+    halt
+"""
+
+
+class TestDominators:
+    def test_straight_line(self):
+        succ = {0: [1], 1: [2], 2: []}
+        idom = immediate_dominators([0, 1, 2], succ, 0)
+        assert idom == {0: 0, 1: 0, 2: 1}
+
+    def test_diamond(self):
+        succ = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        idom = immediate_dominators([0, 1, 2, 3], succ, 0)
+        assert idom[3] == 0
+
+    def test_loop(self):
+        succ = {0: [1], 1: [2, 3], 2: [1], 3: []}
+        idom = immediate_dominators([0, 1, 2, 3], succ, 0)
+        assert idom[1] == 0
+        assert idom[2] == 1
+        assert idom[3] == 1
+
+    def test_unreachable_nodes_absent(self):
+        succ = {0: [1], 1: [], 2: [1]}
+        idom = immediate_dominators([0, 1, 2], succ, 0)
+        assert 2 not in idom
+
+    def test_post_dominators_diamond(self):
+        succ = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        ipdom = immediate_post_dominators([0, 1, 2, 3], succ, [3], -1)
+        assert ipdom[0] == 3
+        assert ipdom[1] == 3
+        assert ipdom[2] == 3
+        assert ipdom[3] == -1
+
+    @given(st.integers(min_value=2, max_value=30))
+    def test_chain_post_dominators(self, n):
+        succ = {i: [i + 1] for i in range(n - 1)}
+        succ[n - 1] = []
+        ipdom = immediate_post_dominators(range(n), succ, [n - 1], -1)
+        for i in range(n - 1):
+            assert ipdom[i] == i + 1
+
+
+class TestCFG:
+    def test_figure1_blocks(self):
+        program = assemble(FIGURE1)
+        cfg = ControlFlowGraph(program)
+        # blocks: b1(2 instrs), b2(3), b3(1), b4(2)
+        assert [b.start for b in cfg.blocks] == [0, 2, 5, 6]
+
+    def test_branch_successors(self):
+        program = assemble(FIGURE1)
+        cfg = ControlFlowGraph(program)
+        b1 = cfg.block_at(1)
+        assert sorted(b1.successors) == [1, 2]
+
+    def test_call_is_fall_through(self):
+        program = assemble(
+            """
+            call fn
+            halt
+        fn:
+            jr ra
+            """
+        )
+        cfg = ControlFlowGraph(program)
+        b0 = cfg.block_at(0)
+        assert cfg.blocks[b0.successors[0]].start == 1
+
+    def test_return_is_exit(self):
+        program = assemble("halt\nfn: jr ra")
+        cfg = ControlFlowGraph(program)
+        assert cfg.block_at(1).successors == []
+
+
+class TestReconvergence:
+    def test_figure1_reconvergent_point(self):
+        program = assemble(FIGURE1)
+        table = ReconvergenceTable(program)
+        branch_pc = next(
+            pc for pc, i in enumerate(program.instructions) if i.op is Op.BEQ
+        )
+        assert table.reconvergent_pc(branch_pc) == program.labels["b4"]
+
+    def test_loop_back_branch_reconverges_at_exit(self):
+        program = assemble(
+            """
+            li r1, 3
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            store r1, r0, 0
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        bne_pc = next(
+            pc for pc, i in enumerate(program.instructions) if i.op is Op.BNE
+        )
+        assert table.reconvergent_pc(bne_pc) == bne_pc + 1
+
+    def test_branch_with_exit_arm_has_no_reconvergence(self):
+        program = assemble(
+            """
+            beq r1, r0, out
+            nop
+        out:
+            halt
+            """
+        )
+        # the not-taken path flows into `out` which is the last block; the
+        # ipdom of the branch is `out` itself -> reconvergence exists
+        table = ReconvergenceTable(program)
+        assert table.reconvergent_pc(0) == 2
+
+    def test_branch_over_return_has_no_reconvergence(self):
+        program = assemble(
+            """
+        fn:
+            beq r1, r0, alt
+            jr  ra
+        alt:
+            jr  ra
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        assert table.reconvergent_pc(0) is None
+
+    def test_coverage_on_workload(self):
+        from repro.workloads import build_workload
+
+        table = ReconvergenceTable(build_workload("gcc", 0.05).program)
+        assert table.coverage() > 0.9  # structured code reconverges
+
+    def test_reconvergent_point_is_on_both_paths(self):
+        """The reconvergent PC must be reachable from both branch arms."""
+        program = assemble(FIGURE1)
+        table = ReconvergenceTable(program)
+        cfg = ControlFlowGraph(program)
+        branch_pc = 1
+        reconv = table.reconvergent_pc(branch_pc)
+        target_block = cfg.block_at(reconv).index
+
+        def reachable(start_block):
+            seen, stack = set(), [start_block]
+            while stack:
+                b = stack.pop()
+                if b in seen:
+                    continue
+                seen.add(b)
+                stack.extend(cfg.blocks[b].successors)
+            return seen
+
+        instr = program[branch_pc]
+        taken_block = cfg.block_at(instr.target).index
+        fall_block = cfg.block_at(branch_pc + 1).index
+        assert target_block in reachable(taken_block)
+        assert target_block in reachable(fall_block)

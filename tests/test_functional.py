@@ -1,0 +1,156 @@
+"""Functional simulator tests: golden traces, forks, wrong paths."""
+
+import pytest
+
+from repro.functional import (
+    ArchState,
+    ExecutionLimitExceeded,
+    Memory,
+    OverlayMemory,
+    run,
+    trace_iter,
+    wrong_path,
+)
+from repro.isa import assemble
+
+COUNTDOWN = """
+    .entry main
+main:
+    li   r1, 5
+    li   r2, 0
+loop:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    store r2, r0, 10
+    halt
+"""
+
+
+class TestMemory:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().read(1234) == 0
+
+    def test_write_read(self):
+        mem = Memory()
+        mem.write(5, 42)
+        assert mem.read(5) == 42
+
+    def test_overlay_isolates_writes(self):
+        base = Memory({1: 10})
+        overlay = OverlayMemory(base)
+        overlay.write(1, 99)
+        overlay.write(2, 7)
+        assert overlay.read(1) == 99
+        assert base.read(1) == 10
+        assert base.read(2) == 0
+        assert overlay.written_addrs == {1, 2}
+
+
+class TestRun:
+    def test_countdown_sums(self):
+        program = assemble(COUNTDOWN)
+        trace = run(program)
+        stores = [e for e in trace if e.instr.is_store]
+        assert stores[-1].store_value == 15  # 5+4+3+2+1
+
+    def test_trace_is_sequential(self):
+        program = assemble(COUNTDOWN)
+        trace = run(program)
+        for i, entry in enumerate(trace):
+            assert entry.seq == i
+        for prev, cur in zip(trace, trace[1:]):
+            assert prev.next_pc == cur.pc
+
+    def test_halts_at_halt(self):
+        program = assemble(COUNTDOWN)
+        trace = run(program)
+        assert trace[-1].instr.op.name == "HALT"
+
+    def test_limit_enforced(self):
+        program = assemble("spin: jump spin\nhalt")
+        with pytest.raises(ExecutionLimitExceeded):
+            run(program, max_steps=100)
+
+    def test_data_section_initialises_memory(self):
+        program = assemble(
+            """
+            .data 50 7
+            load r1, r0, 50
+            store r1, r0, 51
+            halt
+            """
+        )
+        trace = run(program)
+        assert trace[0].value == 7
+        assert trace[1].store_value == 7
+
+    def test_deterministic(self):
+        program = assemble(COUNTDOWN)
+        t1 = [(e.pc, e.value) for e in run(program)]
+        t2 = [(e.pc, e.value) for e in run(program)]
+        assert t1 == t2
+
+
+class TestWrongPath:
+    def test_fork_does_not_touch_parent(self):
+        program = assemble(COUNTDOWN)
+        state = ArchState(pc=program.entry)
+        state.write_reg(1, 3)
+        child = state.fork(0)
+        child.write_reg(1, 99)
+        child.mem.write(10, 5)
+        assert state.read_reg(1) == 3
+        assert state.mem.read(10) == 0
+
+    def test_wrong_path_stops_at_reconvergence(self):
+        program = assemble(
+            """
+            beq r1, r0, other
+            addi r2, r0, 1
+            jump join
+        other:
+            addi r2, r0, 2
+        join:
+            halt
+            """
+        )
+        state = ArchState(pc=0)
+        entries, reached = wrong_path(state, program, 1, frozenset({4}), cap=50)
+        assert reached
+        assert [e.pc for e in entries] == [1, 2]
+
+    def test_wrong_path_cap(self):
+        program = assemble(
+            """
+        spin:
+            addi r1, r1, 1
+            jump spin
+            halt
+            """
+        )
+        state = ArchState(pc=0)
+        entries, reached = wrong_path(state, program, 0, frozenset({99}), cap=10)
+        assert len(entries) == 10
+        assert not reached
+
+    def test_wrong_path_records_speculative_stores(self):
+        program = assemble(
+            """
+            store r1, r0, 20
+            halt
+            """
+        )
+        state = ArchState(pc=0)
+        state.write_reg(1, 5)
+        entries, _ = wrong_path(state, program, 0, frozenset(), cap=5)
+        assert entries[0].addr == 20
+        assert state.mem.read(20) == 0  # parent untouched
+
+
+class TestTraceIter:
+    def test_yields_state_after_each_step(self):
+        program = assemble(COUNTDOWN)
+        for entry, state in trace_iter(program):
+            if entry.instr.dest is not None:
+                assert state.read_reg(entry.instr.dest) == entry.value

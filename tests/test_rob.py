@@ -1,0 +1,131 @@
+"""Reorder buffer structure tests: linked list, order keys, segments."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Op
+from repro.core import ReorderBuffer
+from repro.core.rob import DynInstr
+
+
+def make_node(uid):
+    return DynInstr(uid, uid, Instruction(Op.NOP))
+
+
+def window_uids(rob):
+    return [n.uid for n in rob.iter_all()]
+
+
+class TestLinkedList:
+    def test_append_order(self):
+        rob = ReorderBuffer(16)
+        seg = None
+        for uid in range(5):
+            seg = rob.append(make_node(uid), seg)
+        assert window_uids(rob) == [0, 1, 2, 3, 4]
+
+    def test_insert_after_middle(self):
+        rob = ReorderBuffer(16)
+        nodes = [make_node(u) for u in range(3)]
+        seg = None
+        for node in nodes:
+            seg = rob.append(node, seg)
+        inserted = make_node(99)
+        rob.insert_after(nodes[0], inserted, None)
+        assert window_uids(rob) == [0, 99, 1, 2]
+        assert rob.precedes(nodes[0], inserted)
+        assert rob.precedes(inserted, nodes[1])
+
+    def test_remove(self):
+        rob = ReorderBuffer(16)
+        nodes = [make_node(u) for u in range(3)]
+        seg = None
+        for node in nodes:
+            seg = rob.append(node, seg)
+        rob.remove(nodes[1])
+        assert window_uids(rob) == [0, 2]
+        assert rob.count == 2
+
+    def test_order_keys_survive_dense_insertion(self):
+        rob = ReorderBuffer(4096)
+        first = make_node(0)
+        rob.append(first, None)
+        anchor = first
+        for uid in range(1, 200):
+            node = make_node(uid)
+            rob.insert_after(anchor, node, None)  # always right after first
+        uids = window_uids(rob)
+        assert uids[0] == 0
+        orders = [n.order for n in rob.iter_all()]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=120))
+    def test_random_ops_keep_order_consistent(self, ops):
+        rob = ReorderBuffer(4096)
+        nodes = []
+        uid = 0
+        for op in ops:
+            if op in (0, 1) or not nodes:
+                node = make_node(uid)
+                uid += 1
+                rob.append(node, None)
+                nodes.append(node)
+            elif op == 2:
+                anchor = nodes[len(nodes) // 2]
+                node = make_node(uid)
+                uid += 1
+                rob.insert_after(anchor, node, None)
+                nodes.insert(nodes.index(anchor) + 1, node)
+            else:
+                victim = nodes.pop(len(nodes) // 2)
+                rob.remove(victim)
+        assert window_uids(rob) == [n.uid for n in nodes]
+        orders = [n.order for n in rob.iter_all()]
+        assert orders == sorted(orders)
+
+
+class TestSegments:
+    def test_unsegmented_capacity(self):
+        rob = ReorderBuffer(4, segment_size=1)
+        seg = None
+        for uid in range(4):
+            seg = rob.append(make_node(uid), seg)
+        assert rob.full
+
+    def test_segment_rounds_up(self):
+        rob = ReorderBuffer(16, segment_size=4)
+        rob.append(make_node(0), None)  # opens a 4-slot segment
+        assert rob.slots_used == 4
+
+    def test_contiguous_fill_shares_segment(self):
+        rob = ReorderBuffer(16, segment_size=4)
+        seg = None
+        for uid in range(4):
+            seg = rob.append(make_node(uid), seg)
+        assert rob.slots_used == 4
+
+    def test_fragmentation_from_separate_contexts(self):
+        rob = ReorderBuffer(16, segment_size=4)
+        seg_a = rob.append(make_node(0), None)
+        # a restart inserts with its own segment
+        rob.insert_after(rob.head, make_node(1), None)
+        assert rob.slots_used == 8  # two partially-used segments
+        assert seg_a.live == 1
+
+    def test_segment_freed_when_empty(self):
+        rob = ReorderBuffer(16, segment_size=4)
+        nodes = [make_node(u) for u in range(4)]
+        seg = None
+        for node in nodes:
+            seg = rob.append(node, seg)
+        for node in nodes[:3]:
+            rob.retire(node)
+        assert rob.slots_used == 4  # last instruction holds the segment
+        rob.retire(nodes[3])
+        assert rob.slots_used == 0
+
+    def test_window_must_divide_by_segment(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ReorderBuffer(10, segment_size=4)

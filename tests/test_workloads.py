@@ -1,0 +1,73 @@
+"""Workload tests: determinism, halting, the Table 1 character."""
+
+import pytest
+
+from repro.bpred.evaluate import measure_prediction
+from repro.functional import run
+from repro.workloads import WORKLOAD_NAMES, build_all, build_workload
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_assembles_and_halts(self, name):
+        workload = build_workload(name, 0.05)
+        trace = run(workload.program)
+        assert trace[-1].instr.op.name == "HALT"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("spec2077")
+
+    def test_build_all_order_matches_table1(self):
+        names = [w.name for w in build_all(0.05)]
+        assert names == list(WORKLOAD_NAMES)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic(self, name):
+        t1 = run(build_workload(name, 0.05).program)
+        t2 = run(build_workload(name, 0.05).program)
+        assert [(e.pc, e.value) for e in t1] == [(e.pc, e.value) for e in t2]
+
+    def test_scale_grows_trace(self):
+        small = len(run(build_workload("go", 0.05).program))
+        large = len(run(build_workload("go", 0.2).program))
+        assert large > small * 2
+
+
+class TestCharacter:
+    """Misprediction-rate ordering that the paper's analysis relies on."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        out = {}
+        for name in WORKLOAD_NAMES:
+            trace = run(build_workload(name, 0.3).program)
+            out[name] = measure_prediction(trace).misprediction_rate
+        return out
+
+    def test_go_is_least_predictable(self, rates):
+        assert rates["go"] == max(rates.values())
+
+    def test_vortex_is_most_predictable(self, rates):
+        assert rates["vortex"] == min(rates.values())
+        assert rates["vortex"] < 0.03
+
+    def test_go_misprediction_band(self, rates):
+        assert 0.10 < rates["go"] < 0.30
+
+    def test_compress_has_store_load_traffic(self):
+        trace = run(build_workload("compress", 0.1).program)
+        stores = {e.addr for e in trace if e.instr.is_store}
+        loads = {e.addr for e in trace if e.instr.is_load}
+        assert len(stores & loads) > 10  # heavy aliasing through the tables
+
+    def test_jpeg_is_load_heavy(self):
+        trace = run(build_workload("jpeg", 0.1).program)
+        loads = sum(1 for e in trace if e.instr.is_load)
+        assert loads / len(trace) > 0.15
+
+    def test_gcc_and_vortex_make_calls(self):
+        for name in ("gcc", "vortex"):
+            trace = run(build_workload(name, 0.1).program)
+            assert any(e.instr.is_call for e in trace)
+            assert any(e.instr.is_return for e in trace)
