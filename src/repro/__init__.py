@@ -12,21 +12,39 @@ Public surface:
 * :mod:`repro.core` — the detailed execution-driven CI processor (Sec. 3-4)
 * :mod:`repro.workloads` — the five synthetic SPEC95-like kernels
 * :mod:`repro.harness` — experiment runners for every table and figure
+* :mod:`repro.errors` — structured error taxonomy + failure diagnostics
+* :mod:`repro.robustness` — deterministic fault injection for the checkers
 """
 
-from . import bpred, cfg, core, functional, harness, ideal, isa, memsys, workloads
+from . import (
+    bpred,
+    cfg,
+    core,
+    errors,
+    functional,
+    harness,
+    ideal,
+    isa,
+    memsys,
+    robustness,
+    workloads,
+)
+from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "bpred",
     "cfg",
     "core",
+    "errors",
     "functional",
     "harness",
     "ideal",
     "isa",
     "memsys",
+    "robustness",
     "workloads",
+    "ReproError",
     "__version__",
 ]

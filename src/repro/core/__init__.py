@@ -1,5 +1,6 @@
 """Detailed execution-driven control-independence superscalar core."""
 
+from ..errors import CosimulationError, MachineSnapshot, SimulationHang
 from .config import (
     CompletionModel,
     CoreConfig,
@@ -9,7 +10,7 @@ from .config import (
 )
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
-from .processor import CosimulationError, Processor, simulate_core
+from .processor import Processor, simulate_core
 from .regfile import PhysReg, RenameMap
 from .rob import DynInstr, ReorderBuffer, Segment
 from .stats import CoreStats
@@ -22,6 +23,7 @@ __all__ = [
     "DynInstr",
     "GoldenTrace",
     "LoadStoreQueue",
+    "MachineSnapshot",
     "PhysReg",
     "Preemption",
     "Processor",
@@ -30,5 +32,6 @@ __all__ = [
     "ReorderBuffer",
     "RepredictMode",
     "Segment",
+    "SimulationHang",
     "simulate_core",
 ]

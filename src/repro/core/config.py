@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..errors import ConfigError
 from ..ideal.models import DEFAULT_LATENCIES
 
 
@@ -113,3 +114,114 @@ class CoreConfig:
 
     #: safety valve for runaway simulations
     max_cycles: int = 20_000_000
+    #: forward-progress watchdog: cycles without a retirement before the
+    #: run is declared livelocked (SimulationHang), far below max_cycles
+    watchdog_cycles: int = 50_000
+    #: with exact post-dominator reconvergence the commit-time next-PC
+    #: check should never fire; strict mode escalates a sequence repair
+    #: to CosimulationError instead of silently healing (used by the
+    #: fault-injection suite to expose corrupted reconvergence state)
+    strict_commit: bool = False
+
+    def validate(self) -> "CoreConfig":
+        """Reject inconsistent knob combinations before simulation.
+
+        Raises :class:`~repro.errors.ConfigError` naming the offending
+        knob(s); returns ``self`` so call sites can chain.  Run by
+        ``Processor.__init__`` so a bad sweep point fails in microseconds
+        instead of mid-simulation.
+        """
+        def require(cond: bool, message: str) -> None:
+            if not cond:
+                raise ConfigError(f"invalid CoreConfig: {message}")
+
+        require(
+            isinstance(self.window_size, int) and self.window_size >= 1,
+            f"window_size must be a positive integer, got {self.window_size!r}",
+        )
+        require(
+            isinstance(self.width, int) and self.width >= 1,
+            f"width must be a positive integer, got {self.width!r}",
+        )
+        require(
+            isinstance(self.segment_size, int) and self.segment_size >= 1,
+            f"segment_size must be a positive integer, got {self.segment_size!r}",
+        )
+        require(
+            self.window_size % self.segment_size == 0,
+            f"window_size ({self.window_size}) must be a multiple of "
+            f"segment_size ({self.segment_size})",
+        )
+        require(
+            isinstance(self.reconv_policy, ReconvPolicy),
+            f"reconv_policy must be a ReconvPolicy, got {self.reconv_policy!r}",
+        )
+        require(
+            isinstance(self.completion_model, CompletionModel),
+            f"completion_model must be a CompletionModel, "
+            f"got {self.completion_model!r}",
+        )
+        require(
+            isinstance(self.repredict_mode, RepredictMode),
+            f"repredict_mode must be a RepredictMode, got {self.repredict_mode!r}",
+        )
+        require(
+            isinstance(self.preemption, Preemption),
+            f"preemption must be a Preemption, got {self.preemption!r}",
+        )
+        require(
+            not (self.instant_redispatch and not self.reconv_policy.exploits_ci),
+            "instant_redispatch (the CI-I machine) requires a reconvergence "
+            "policy that exploits control independence, but reconv_policy "
+            "is ReconvPolicy.NONE",
+        )
+        require(
+            1 <= self.predictor_index_bits <= 30,
+            f"predictor_index_bits must be in [1, 30], "
+            f"got {self.predictor_index_bits!r}",
+        )
+        if not self.perfect_cache:
+            require(
+                self.cache_size_bytes >= 1 and self.cache_assoc >= 1,
+                f"cache geometry must be positive, got size_bytes="
+                f"{self.cache_size_bytes!r} assoc={self.cache_assoc!r}",
+            )
+            line_bytes = 4 * 8  # line_words * WORD_BYTES (memsys defaults)
+            sets = self.cache_size_bytes // (line_bytes * self.cache_assoc)
+            require(
+                sets >= 1 and sets & (sets - 1) == 0,
+                f"cache_size_bytes={self.cache_size_bytes} with assoc="
+                f"{self.cache_assoc} yields {sets} sets; the set count "
+                "must be a positive power of two",
+            )
+            require(
+                self.cache_hit_latency >= 1 and self.cache_miss_latency >= 1,
+                f"cache latencies must be >= 1 cycle, got hit="
+                f"{self.cache_hit_latency!r} miss={self.cache_miss_latency!r}",
+            )
+        bad_latencies = {
+            op: lat
+            for op, lat in self.latencies.items()
+            if not isinstance(lat, int) or lat < 1
+        }
+        require(
+            not bad_latencies,
+            f"operation latencies must be integers >= 1, got {bad_latencies!r}",
+        )
+        require(
+            isinstance(self.max_cycles, int) and self.max_cycles >= 1,
+            f"max_cycles must be a positive integer, got {self.max_cycles!r}",
+        )
+        require(
+            isinstance(self.watchdog_cycles, int) and self.watchdog_cycles >= 1,
+            f"watchdog_cycles must be a positive integer, "
+            f"got {self.watchdog_cycles!r}",
+        )
+        require(
+            not self.strict_commit
+            or self.reconv_policy in (ReconvPolicy.POSTDOM, ReconvPolicy.NONE),
+            "strict_commit requires exact reconvergence information "
+            "(ReconvPolicy.POSTDOM or NONE): the hardware heuristics "
+            "mis-splice legitimately and rely on commit-time repair",
+        )
+        return self

@@ -8,16 +8,29 @@ modes, and per-instance correct global branch history.
 from __future__ import annotations
 
 from ..bpred import GshareGlobalHistory
+from ..errors import ExecutionLimitExceeded
 from ..functional import TraceEntry, run
 from ..isa import Program
 
 
 class GoldenTrace:
-    """Architectural execution reference, indexed by retirement order."""
+    """Architectural execution reference, indexed by retirement order.
+
+    A trace is complete or absent, never truncated: overrunning
+    ``max_steps`` raises :class:`~repro.errors.ExecutionLimitExceeded`
+    (a partial reference would make co-simulation report phantom
+    divergences at the cut-off point).
+    """
 
     def __init__(self, program: Program, history_bits: int = 16, max_steps: int = 5_000_000):
         self.program = program
-        self.entries: list[TraceEntry] = run(program, max_steps)
+        try:
+            self.entries: list[TraceEntry] = run(program, max_steps)
+        except ExecutionLimitExceeded as exc:
+            raise ExecutionLimitExceeded(
+                f"golden trace generation for {program.name!r} overran its "
+                f"budget ({exc}); raise max_steps or shrink the workload scale"
+            ) from exc
         # Correct global history *before* each dynamic instruction
         # (conditional-branch outcomes only, like the fetch-time GHR).
         helper = GshareGlobalHistory(history_bits)

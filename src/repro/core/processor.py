@@ -31,6 +31,7 @@ import heapq
 
 from ..bpred import FrontEnd
 from ..cfg import ReconvergenceTable
+from ..errors import CosimulationError, MachineSnapshot, SimulationHang
 from ..isa import NUM_REGS, Op, Program, evaluate
 from ..memsys import PerfectCache, SetAssociativeCache
 from ..ideal.models import op_latency
@@ -40,10 +41,6 @@ from .lsq import LoadStoreQueue
 from .regfile import PhysReg
 from .rob import DynInstr, ReorderBuffer, Segment
 from .stats import CoreStats
-
-
-class CosimulationError(RuntimeError):
-    """Retired state diverged from the architectural golden trace."""
 
 
 class _Context:
@@ -94,7 +91,7 @@ class Processor:
     ):
         self.program = program
         self.config = config if config is not None else CoreConfig()
-        cfg = self.config
+        cfg = self.config.validate()
         self.golden = golden if golden is not None else GoldenTrace(
             program, history_bits=cfg.predictor_index_bits
         )
@@ -149,8 +146,45 @@ class Processor:
         self._return_targets: set[int] = set()
         self._loop_targets: set[int] = set()
 
+        #: robustness hooks invoked once per cycle with the processor;
+        #: used by the fault-injection layer to corrupt state mid-run
+        self._cycle_hooks: list = []
+
     # ==================================================================
     # helpers
+
+    def add_cycle_hook(self, hook) -> None:
+        """Register ``hook(processor)`` to run at the end of every cycle."""
+        self._cycle_hooks.append(hook)
+
+    def snapshot(self) -> MachineSnapshot:
+        """Capture machine state for failure diagnostics."""
+        head = self.rob.head
+        if head is None:
+            head_pc, head_status = None, "empty"
+        else:
+            flags = []
+            flags.append("completed" if head.completed else "incomplete")
+            if head.in_ready:
+                flags.append("in-ready")
+            if head.inflight:
+                flags.append("inflight")
+            if head.recovering:
+                flags.append("recovering")
+            head_pc, head_status = head.pc, " ".join(flags)
+        return MachineSnapshot(
+            cycle=self.cycle,
+            fetch_pc=self.frontier.fetch_pc,
+            rob_occupancy=self.rob.slots_used,
+            window_size=self.rob.window_size,
+            active_contexts=len(self.contexts),
+            context_phases=tuple(c.phase for c in self.contexts),
+            retired=self.retired_count,
+            golden_length=len(self.golden),
+            head_pc=head_pc,
+            head_status=head_status,
+            incomplete_branches=len(self._incomplete_branches),
+        )
 
     def _active_context(self) -> _Context:
         if not self.contexts:
@@ -953,8 +987,9 @@ class Processor:
             entry = golden[self.retired_count] if self.retired_count < len(golden) else None
             if entry is None or entry.pc != node.pc:
                 raise CosimulationError(
-                    f"cycle {self.cycle}: retired pc {node.pc} but golden expects "
-                    f"{entry.pc if entry else 'END'} at index {self.retired_count}"
+                    f"retired pc {node.pc} but golden expects "
+                    f"{entry.pc if entry else 'END'} at index {self.retired_count}",
+                    snapshot=self.snapshot(),
                 )
             self._check_and_commit(node, entry)
             if node.dest_arch is not None:
@@ -976,20 +1011,23 @@ class Processor:
             if node.addr != entry.addr or node.store_value != entry.store_value:
                 raise CosimulationError(
                     f"store at pc {node.pc}: simulated {node.addr}={node.store_value}, "
-                    f"golden {entry.addr}={entry.store_value}"
+                    f"golden {entry.addr}={entry.store_value}",
+                    snapshot=self.snapshot(),
                 )
             self.committed_mem[node.addr] = node.store_value
         elif node.dest_tag is not None:
             if node.value != entry.value:
                 raise CosimulationError(
                     f"pc {node.pc} ({instr.op.name}): simulated value {node.value}, "
-                    f"golden {entry.value}"
+                    f"golden {entry.value}",
+                    snapshot=self.snapshot(),
                 )
         if instr.is_control:
             if node.current_next_pc != entry.next_pc:
                 raise CosimulationError(
                     f"control at pc {node.pc}: retiring down {node.current_next_pc}, "
-                    f"golden goes to {entry.next_pc}"
+                    f"golden goes to {entry.next_pc}",
+                    snapshot=self.snapshot(),
                 )
             # Train the predictor at retirement (delayed update, Sec 4.1).
             self.frontend.update(
@@ -1016,6 +1054,15 @@ class Processor:
     def _sequence_repair(self, node: DynInstr, expected_next: int) -> None:
         """Flush everything younger than the retiring instruction and
         refetch from its committed successor."""
+        if self.config.strict_commit:
+            succ = node.next
+            raise CosimulationError(
+                f"commit-time next-PC check failed at pc {node.pc}: committed "
+                f"path continues at {expected_next} but the window holds pc "
+                f"{succ.pc if succ is not self.rob.tail_sentinel else 'END'} — "
+                "mis-spliced reconvergence under exact post-dominator info",
+                snapshot=self.snapshot(),
+            )
         self.stats.sequence_repairs += 1
         self._squash_after(node)
         for ctx in self.contexts:
@@ -1042,19 +1089,37 @@ class Processor:
 
     def run(self) -> CoreStats:
         max_cycles = self.config.max_cycles
-        n = len(self.golden)
+        watchdog = self.config.watchdog_cycles
+        last_retired = self.retired_count
+        last_progress_cycle = self.cycle
         while not self.halted:
             if self.cycle > max_cycles:
-                raise RuntimeError(
-                    f"exceeded {max_cycles} cycles (retired "
-                    f"{self.retired_count}/{n})"
+                raise SimulationHang(
+                    f"exceeded the {max_cycles}-cycle budget",
+                    snapshot=self.snapshot(),
+                    kind="cycle-limit",
                 )
             self._complete_phase()
             self._retire_phase()
+            # Forward-progress watchdog: a window that stops retiring long
+            # before max_cycles is a livelock (lost wakeup, stuck recovery),
+            # not a slow program — fail fast with the machine state.
+            if self.retired_count != last_retired:
+                last_retired = self.retired_count
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle >= watchdog:
+                raise SimulationHang(
+                    f"no instruction retired in {watchdog} cycles "
+                    "(forward-progress watchdog)",
+                    snapshot=self.snapshot(),
+                    kind="livelock",
+                )
             if self.halted:
                 break
             self._issue_phase()
             self._sequencer_phase()
+            for hook in self._cycle_hooks:
+                hook(self)
             self.cycle += 1
         self.stats.cycles = self.cycle + 1
         return self.stats

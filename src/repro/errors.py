@@ -1,0 +1,163 @@
+"""Structured error taxonomy and failure diagnostics for the reproduction.
+
+Everything the simulator, harness and workloads can raise derives from
+:class:`ReproError`, so callers can catch one type and still distinguish
+failure classes:
+
+* :class:`ConfigError` — a :class:`~repro.core.CoreConfig` (or other
+  knob set) is internally inconsistent; rejected *before* simulation.
+* :class:`WorkloadError` — a workload/assembler input is invalid
+  (unknown name, bad scale, assembly syntax error).
+* :class:`ExecutionLimitExceeded` — architectural execution ran past
+  its dynamic-instruction budget (a golden trace is never silently
+  truncated).
+* :class:`SimulationHang` — the detailed core stopped making forward
+  progress (watchdog livelock) or exceeded its cycle budget.
+* :class:`CosimulationError` — retired state diverged from the
+  architectural golden trace: a simulator bug, never a statistic.
+* :class:`HarnessError` / :class:`CellTimeout` / :class:`CheckpointError`
+  — failures of the fault-isolated experiment runner itself.
+* :class:`TransientError` — marker for failures worth retrying
+  (the runner retries these with backoff; everything else degrades).
+
+Simulator failures carry a :class:`MachineSnapshot` of the machine state
+at the moment of death, rendered into the exception message, so a failed
+cell in a long study is diagnosable from its error string alone.
+
+``ConfigError`` and ``WorkloadError`` also subclass :class:`ValueError`,
+and ``ReproError`` subclasses :class:`RuntimeError`, so pre-existing
+``except ValueError`` / ``except RuntimeError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ReproError(RuntimeError):
+    """Base class for every error raised by the reproduction."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration is internally inconsistent (rejected up front)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload or assembler input is invalid."""
+
+
+class ExecutionLimitExceeded(ReproError):
+    """Architectural execution ran past the dynamic-instruction budget."""
+
+
+class HarnessError(ReproError):
+    """The fault-isolated experiment runner failed."""
+
+
+class CellTimeout(HarnessError):
+    """One experiment cell exceeded its wall-clock budget."""
+
+
+class CheckpointError(HarnessError):
+    """A checkpoint store could not be read or written."""
+
+
+class TransientError(ReproError):
+    """A failure expected to succeed on retry (runner retries these)."""
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Machine state at the moment a simulation died.
+
+    Captured by ``Processor.snapshot()`` and rendered into
+    :class:`SimulationHang` / :class:`CosimulationError` messages so a
+    failure in a long sweep is diagnosable without re-running it.
+    """
+
+    cycle: int
+    fetch_pc: int
+    rob_occupancy: int
+    window_size: int
+    active_contexts: int
+    context_phases: tuple[str, ...]
+    retired: int
+    golden_length: int
+    head_pc: int | None
+    head_status: str
+    incomplete_branches: int
+
+    @property
+    def last_retired_seq(self) -> int:
+        """Golden-trace index of the last retired instruction (-1 = none)."""
+        return self.retired - 1
+
+    def describe(self) -> str:
+        contexts = (
+            f"{self.active_contexts} ({','.join(self.context_phases)})"
+            if self.context_phases
+            else "0"
+        )
+        head = (
+            f"pc {self.head_pc} [{self.head_status}]"
+            if self.head_pc is not None
+            else "empty"
+        )
+        return (
+            f"machine state: cycle={self.cycle}"
+            f" retired={self.retired}/{self.golden_length}"
+            f" (last seq {self.last_retired_seq})"
+            f" fetch_pc={self.fetch_pc}"
+            f" rob={self.rob_occupancy}/{self.window_size}"
+            f" contexts={contexts}"
+            f" head={head}"
+            f" incomplete_branches={self.incomplete_branches}"
+        )
+
+
+class DiagnosedError(ReproError):
+    """A simulator error carrying an optional machine-state snapshot."""
+
+    def __init__(self, message: str, snapshot: MachineSnapshot | None = None):
+        self.snapshot = snapshot
+        if snapshot is not None:
+            message = f"{message}\n  {snapshot.describe()}"
+        super().__init__(message)
+
+
+class SimulationHang(DiagnosedError):
+    """The detailed core stopped retiring instructions.
+
+    ``kind`` distinguishes a forward-progress watchdog trip
+    (``"livelock"``: no retirement for ``watchdog_cycles`` cycles) from
+    the blunt overall cycle budget (``"cycle-limit"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        snapshot: MachineSnapshot | None = None,
+        kind: str = "livelock",
+    ):
+        self.kind = kind
+        super().__init__(message, snapshot)
+
+
+class CosimulationError(DiagnosedError):
+    """Retired state diverged from the architectural golden trace."""
+
+
+__all__ = [
+    "CellTimeout",
+    "CheckpointError",
+    "ConfigError",
+    "CosimulationError",
+    "DiagnosedError",
+    "ExecutionLimitExceeded",
+    "HarnessError",
+    "MachineSnapshot",
+    "ReproError",
+    "SimulationHang",
+    "TransientError",
+    "WorkloadError",
+]

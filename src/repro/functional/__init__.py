@@ -1,6 +1,7 @@
 """Functional (architectural) simulation: golden traces, wrong paths."""
 
-from .executor import ExecutionLimitExceeded, TraceEntry, run, step, trace_iter, wrong_path
+from ..errors import ExecutionLimitExceeded
+from .executor import TraceEntry, run, step, trace_iter, wrong_path
 from .state import ArchState, Memory, OverlayMemory
 
 __all__ = [

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ExecutionLimitExceeded
 from ..isa import Instruction, Program, evaluate
 from .state import ArchState
 
@@ -33,10 +34,6 @@ class TraceEntry:
     @property
     def is_control(self) -> bool:
         return self.instr.is_control
-
-
-class ExecutionLimitExceeded(RuntimeError):
-    """The program ran past the configured dynamic-instruction budget."""
 
 
 def step(state: ArchState, program: Program, seq: int = 0) -> TraceEntry:
@@ -90,10 +87,14 @@ def run(
         state = ArchState(pc=program.entry)
         for addr, value in program.data.items():
             state.mem.write(addr, value)
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps!r}")
     trace: list[TraceEntry] = []
     seq = 0
     while not state.halted:
         if seq >= max_steps:
+            # Never return a silently truncated trace: a partial golden
+            # reference would turn co-simulation into false divergences.
             raise ExecutionLimitExceeded(
                 f"{program.name}: exceeded {max_steps} dynamic instructions"
             )

@@ -403,3 +403,83 @@ def run_figure17(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -
             ipc = run_core(bundle, cfg).ipc
             out[name][policy.value] = 100.0 * (ipc / base - 1.0)
     return out
+
+
+# ----------------------------------------------------------------------
+# Fault-isolated full study (robustness layer)
+
+#: every independently runnable experiment (figure 6 derives from 5)
+EXPERIMENTS: dict = {
+    "table1": run_table1,
+    "figure3": run_figure3,
+    "figure5": run_figure5,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "figure10": run_figure10,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "figure14": run_figure14,
+    "figure17": run_figure17,
+}
+
+
+def run_study(
+    experiments=None,
+    scale: float = 0.12,
+    names=WORKLOAD_NAMES,
+    checkpoint_path=None,
+    runner: "CellRunner | None" = None,
+    **experiment_kwargs,
+) -> dict:
+    """Run a cross-product of experiments × workloads fault-isolated.
+
+    Each (experiment, workload) pair runs as one cell through a
+    :class:`~repro.harness.runner.CellRunner`: a crash or hang in one
+    cell becomes an error-annotated row instead of killing the study,
+    and — when ``checkpoint_path`` is given — completed cells are
+    skipped on resume after an interruption.
+
+    Returns ``{"results": {experiment: {workload: row-or-error}},
+    "failures": [CellResult...], "resumed": int}``.
+    """
+    from ..errors import ConfigError
+    from .runner import Cell, CellRunner, RunnerConfig, config_hash
+
+    chosen = list(experiments) if experiments is not None else list(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    if runner is None:
+        runner = CellRunner(RunnerConfig(checkpoint_path=checkpoint_path))
+
+    results: dict = {exp: {} for exp in chosen}
+    failures: list = []
+    resumed = 0
+    for exp in chosen:
+        fn = EXPERIMENTS[exp]
+        knob_hash = config_hash({"experiment": exp, **experiment_kwargs})
+        for name in names:
+            cell = Cell(
+                experiment=exp, workload=name, config_hash=knob_hash, scale=scale
+            )
+            result = runner.run_cell(
+                cell,
+                lambda fn=fn, name=name: fn(scale, names=(name,), **experiment_kwargs),
+            )
+            resumed += result.resumed
+            if not result.ok:
+                failures.append(result)
+            row = result.as_row()
+            # Per-workload runners return either {name: data} or [row];
+            # unwrap to the single workload's data for a uniform table.
+            if result.ok and isinstance(row, dict) and set(row) == {name}:
+                row = row[name]
+            elif result.ok and isinstance(row, list) and len(row) == 1:
+                row = row[0]
+            results[exp][name] = row
+    return {"results": results, "failures": failures, "resumed": resumed}

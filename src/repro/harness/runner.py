@@ -1,0 +1,308 @@
+"""Fault-isolated experiment runner with retry, timeout and resume.
+
+The paper's evaluation is a large cross-product of machines × knobs ×
+workloads.  Running it as one in-process loop means a single hung or
+crashing (experiment, workload, config) cell kills the whole study and
+loses every completed result.  This module executes each cell through a
+:class:`CellRunner` that provides:
+
+* **per-cell wall-clock timeout** — a hung simulation becomes a
+  :class:`~repro.errors.CellTimeout` for that cell only;
+* **bounded retry with backoff** — failures marked transient
+  (:class:`~repro.errors.TransientError`, timeouts) are retried up to
+  ``max_attempts`` times; deterministic failures are not retried;
+* **graceful degradation** — a permanently failing cell becomes an
+  error-annotated :class:`CellResult` instead of aborting the study;
+* **resumable runs** — completed cells are recorded in a JSON
+  :class:`CheckpointStore` keyed by (experiment, workload, config hash,
+  scale); re-running an interrupted study skips them.
+
+Checkpointed values round-trip through JSON, so cell functions must
+return JSON-serialisable data (all the ``repro.harness.experiments``
+runners do; note JSON turns integer dict keys into strings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import CellTimeout, CheckpointError, TransientError
+
+CHECKPOINT_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a config-ish value to a deterministic, hashable structure."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _canonical(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(v)) for v in value))
+    return value
+
+
+def config_hash(config: Any) -> str:
+    """Stable short hash of a configuration (dataclass, dict, tuple...)."""
+    return hashlib.sha256(repr(_canonical(config)).encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of a study: an experiment on one workload at one config."""
+
+    experiment: str
+    workload: str
+    config_hash: str
+    scale: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.experiment}/{self.workload}/{self.config_hash}/{self.scale}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a value, or an error annotation — never a crash."""
+
+    key: str
+    status: str  # "ok" | "error"
+    value: Any = None
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 0
+    resumed: bool = False  # satisfied from the checkpoint store
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_row(self) -> Any:
+        """The cell's value, or an error-annotated dict for failed cells."""
+        if self.ok:
+            return self.value
+        return {
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class RunnerConfig:
+    """Policy knobs for :class:`CellRunner`."""
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.5  # first retry delay; doubles per attempt
+    backoff_factor: float = 2.0
+    timeout_seconds: float | None = None  # per-cell wall clock; None = off
+    checkpoint_path: str | Path | None = None
+    #: exception types worth retrying; anything else degrades immediately
+    retryable: tuple[type, ...] = (TransientError, CellTimeout)
+
+    def validate(self) -> "RunnerConfig":
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff_seconds < 0 or self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff must be non-negative with factor >= 1, got "
+                f"{self.backoff_seconds!r} / {self.backoff_factor!r}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive or None, "
+                f"got {self.timeout_seconds!r}"
+            )
+        return self
+
+
+class CheckpointStore:
+    """JSON store of completed cell results, written atomically.
+
+    Only successful cells are recorded, so failed cells are retried on
+    resume while finished ones are never re-simulated.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._results: dict[str, Any] = {}
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint file {self.path} is unreadable or corrupt "
+                    f"({exc}); delete it to start the study from scratch"
+                ) from exc
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != CHECKPOINT_VERSION
+                or not isinstance(payload.get("results"), dict)
+            ):
+                raise CheckpointError(
+                    f"checkpoint file {self.path} has an unexpected layout "
+                    f"(expected version {CHECKPOINT_VERSION}); delete it to "
+                    "start the study from scratch"
+                )
+            self._results = payload["results"]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def completed(self, key: str) -> bool:
+        return key in self._results
+
+    def value(self, key: str) -> Any:
+        return self._results[key]
+
+    def record(self, key: str, value: Any) -> None:
+        # Round-trip through JSON now so a non-serialisable value fails
+        # loudly at record time, not silently at resume time.
+        try:
+            self._results[key] = json.loads(json.dumps(value))
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"cell {key!r} returned a non-JSON-serialisable value "
+                f"({exc}); checkpointed cells must return plain data"
+            ) from exc
+        self._flush()
+
+    def _flush(self) -> None:
+        payload = {"version": CHECKPOINT_VERSION, "results": self._results}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"could not write checkpoint {self.path}: {exc}"
+            ) from exc
+
+
+def call_with_timeout(fn: Callable[[], Any], timeout_seconds: float | None) -> Any:
+    """Run ``fn`` under a SIGALRM wall-clock budget (main thread only).
+
+    Falls back to an unguarded call when no timeout is requested, on
+    platforms without ``SIGALRM``, or off the main thread — the runner
+    still isolates crashes there, just not hangs.
+    """
+    if (
+        not timeout_seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return fn()
+
+    def _alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded its {timeout_seconds}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class CellRunner:
+    """Executes cells with timeout, retry/backoff, degradation and resume."""
+
+    def __init__(self, config: RunnerConfig | None = None, sleep=time.sleep):
+        self.config = (config or RunnerConfig()).validate()
+        self._sleep = sleep
+        self.checkpoint: CheckpointStore | None = (
+            CheckpointStore(self.config.checkpoint_path)
+            if self.config.checkpoint_path is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_cell(self, cell: Cell | str, fn: Callable[[], Any]) -> CellResult:
+        """Run one cell to a :class:`CellResult`; never raises for cell
+        failures (only for checkpoint-store corruption)."""
+        key = cell.key if isinstance(cell, Cell) else cell
+        if self.checkpoint is not None and self.checkpoint.completed(key):
+            return CellResult(
+                key=key, status="ok", value=self.checkpoint.value(key),
+                attempts=0, resumed=True,
+            )
+
+        cfg = self.config
+        delay = cfg.backoff_seconds
+        failure: BaseException | None = None
+        for attempt in range(1, cfg.max_attempts + 1):
+            try:
+                value = call_with_timeout(fn, cfg.timeout_seconds)
+            except cfg.retryable as exc:
+                failure = exc
+                if attempt < cfg.max_attempts and delay > 0:
+                    self._sleep(delay)
+                    delay *= cfg.backoff_factor
+                continue
+            except Exception as exc:  # deterministic failure: no retry
+                failure = exc
+                break
+            if self.checkpoint is not None:
+                self.checkpoint.record(key, value)
+            return CellResult(key=key, status="ok", value=value, attempts=attempt)
+        return CellResult(
+            key=key,
+            status="error",
+            error=str(failure),
+            error_type=type(failure).__name__,
+            attempts=attempt,
+        )
+
+    def run_cells(
+        self, cells: list[tuple[Cell, Callable[[], Any]]]
+    ) -> list[CellResult]:
+        """Run every cell, isolating failures; the study always finishes."""
+        return [self.run_cell(cell, fn) for cell, fn in cells]
+
+
+def run_protected(
+    fn: Callable, args: tuple = (), kwargs: dict | None = None,
+    timeout_seconds: float | None = None,
+):
+    """Run one callable under the cell timeout guard, re-raising failures.
+
+    Used by the benchmark suite: a hung table/figure regeneration dies
+    with a clear :class:`~repro.errors.CellTimeout` instead of stalling
+    CI forever, while real errors propagate unchanged (benchmarks must
+    assert on genuine results, not degraded placeholders).
+    """
+    return call_with_timeout(lambda: fn(*args, **(kwargs or {})), timeout_seconds)
+
+
+__all__ = [
+    "Cell",
+    "CellRunner",
+    "CellResult",
+    "CheckpointStore",
+    "RunnerConfig",
+    "call_with_timeout",
+    "config_hash",
+    "run_protected",
+]

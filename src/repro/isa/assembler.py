@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import re
 
+from ..errors import WorkloadError
 from .instructions import (
     ALU_RI_OPS,
     ALU_RR_OPS,
@@ -39,8 +40,12 @@ _REG_ALIASES = {"zero": REG_ZERO, "ra": REG_RA, "sp": REG_SP}
 _LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
 
 
-class AssemblerError(ValueError):
-    """Raised on any syntax or resolution error, with line context."""
+class AssemblerError(WorkloadError):
+    """Raised on any syntax or resolution error, with line context.
+
+    Subclasses :class:`~repro.errors.WorkloadError` (itself a
+    ``ValueError``) so assembly failures join the structured taxonomy.
+    """
 
 
 def _parse_reg(token: str, lineno: int) -> int:
@@ -63,6 +68,10 @@ def _parse_imm(token: str, lineno: int) -> int:
 
 def assemble(source: str, name: str = "program") -> Program:
     """Assemble ``source`` into a :class:`Program` (labels resolved)."""
+    if not isinstance(source, str):
+        raise AssemblerError(
+            f"assembler source must be a string, got {type(source).__name__}"
+        )
     labels: dict[str, int] = {}
     pending: list[tuple[int, str, list[str]]] = []  # (lineno, mnemonic, operands)
     data: dict[int, int] = {}

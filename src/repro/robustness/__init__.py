@@ -1,0 +1,26 @@
+"""Robustness tooling: deterministic fault injection for the checkers.
+
+A correctness checker that no fault has ever tripped is untested.  This
+package corrupts live simulator state on purpose — predictor-derived
+path state, reconvergence-table entries, register values, wakeup events
+— to prove the retirement co-simulation checker and the forward-progress
+watchdog actually detect each divergence class.
+"""
+
+from .faultinject import (
+    DroppedWakeupFault,
+    FaultInjector,
+    PredictorStateFault,
+    ReconvTableFault,
+    RegisterValueFault,
+    run_with_fault,
+)
+
+__all__ = [
+    "DroppedWakeupFault",
+    "FaultInjector",
+    "PredictorStateFault",
+    "ReconvTableFault",
+    "RegisterValueFault",
+    "run_with_fault",
+]

@@ -1,0 +1,282 @@
+"""Deterministic, seedable fault injectors for the detailed core.
+
+Each injector models one class of simulator bug and corrupts live
+machine state mid-run through the processor's per-cycle hook:
+
+* :class:`RegisterValueFault` — flips bits in a completed, unretired
+  instruction's result (physical register file corruption).  Detected by
+  the retirement value check.
+* :class:`PredictorStateFault` — corrupts gshare counters *and* flips
+  the committed path of a resolved in-window branch (the predictor-
+  derived state that recovery is supposed to have repaired).  Detected
+  by the retirement control-target check.
+* :class:`ReconvTableFault` — rewrites reconvergence-table entries to
+  wrong PCs, producing mis-spliced restarts.  Detected by the
+  commit-time next-PC sequence check (run the machine with
+  ``strict_commit=True``: under exact post-dominator information a
+  sequence repair is by definition a reconvergence bug).
+* :class:`DroppedWakeupFault` — swallows a victim instruction's reissue
+  wakeups, so it retires a stale value (detected by the value check) or
+  never completes (detected by the forward-progress watchdog).
+
+All randomness comes from a seeded :class:`random.Random`, so every
+injection — trigger point, victim, corruption mask — is reproducible
+from ``(seed, trigger)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..cfg import ReconvergenceTable
+from ..core import CoreConfig, CoreStats, GoldenTrace, Processor
+from ..errors import ReproError
+from ..isa import Program
+
+
+class FaultInjector:
+    """Base injector: arms a per-cycle hook, fires once at a trigger.
+
+    ``trigger_retired`` is the retirement count at which the fault goes
+    live; the injector then corrupts state at the first cycle where a
+    suitable victim exists and records what it did in ``description``.
+    """
+
+    kind = "generic"
+
+    def __init__(self, seed: int = 0, trigger_retired: int | None = None):
+        self.rng = random.Random(seed)
+        self.trigger_retired = (
+            trigger_retired
+            if trigger_retired is not None
+            else self.rng.randrange(20, 200)
+        )
+        self.fired = False
+        self.description: str | None = None
+
+    def arm(self, processor: Processor) -> None:
+        """Attach this injector to a processor before ``run()``."""
+        processor.add_cycle_hook(self._on_cycle)
+
+    def _on_cycle(self, proc: Processor) -> None:
+        if self.fired or proc.retired_count < self.trigger_retired:
+            return
+        if self._inject(proc):
+            self.fired = True
+
+    def _inject(self, proc: Processor) -> bool:
+        """Attempt one corruption; return True when it landed."""
+        raise NotImplementedError
+
+
+class RegisterValueFault(FaultInjector):
+    """Corrupt the result of a completed, unretired instruction.
+
+    Models a physical-register-file bit flip: both the in-flight node's
+    value and its destination tag are XORed with a nonzero mask, so the
+    wrong value is what retirement sees.  Victims are taken from the
+    window head so they retire before any wakeup can recompute them.
+    """
+
+    kind = "register-value"
+
+    def __init__(self, seed: int = 0, trigger_retired: int | None = None):
+        super().__init__(seed, trigger_retired)
+        self.mask = self.rng.randrange(1, 1 << 16)
+
+    def _inject(self, proc: Processor) -> bool:
+        for node in proc.rob.iter_all():
+            if (
+                node.completed
+                and not node.retired
+                and node.dest_tag is not None
+                and not node.instr.is_control
+                and not node.instr.is_store
+            ):
+                node.value ^= self.mask
+                node.dest_tag.value = node.value
+                self.description = (
+                    f"xor value of pc {node.pc} (uid {node.uid}) "
+                    f"with {self.mask:#x} at cycle {proc.cycle}"
+                )
+                return True
+        return False
+
+
+class PredictorStateFault(FaultInjector):
+    """Corrupt predictor state, including resolved branch-path state.
+
+    Scrambles a swath of gshare counters (performance-only damage, as in
+    real hardware) and — the architecturally dangerous part — flips the
+    committed direction of a completed in-window conditional branch, as
+    if recovery had repaired the machine onto the wrong path.  The
+    retirement control-target check must refuse to commit it.
+    """
+
+    kind = "predictor-state"
+
+    def _inject(self, proc: Processor) -> bool:
+        table = proc.frontend.gshare.table
+        for _ in range(min(64, len(table))):
+            table[self.rng.randrange(len(table))] = self.rng.randrange(4)
+        for node in proc.rob.iter_all():
+            if (
+                node.instr.is_branch
+                and node.completed
+                and not node.recovering
+                and not node.retired
+            ):
+                node.current_taken = not node.current_taken
+                node.current_next_pc = (
+                    node.instr.target if node.current_taken else node.pc + 1
+                )
+                self.description = (
+                    f"flipped committed path of branch pc {node.pc} "
+                    f"(uid {node.uid}) to {node.current_next_pc} "
+                    f"at cycle {proc.cycle}"
+                )
+                return True
+        return False
+
+
+class ReconvTableFault(FaultInjector):
+    """Corrupt reconvergence-table entries and in-flight reconv state.
+
+    Rewrites ``entries`` table entries to random bogus PCs (future
+    recoveries splice at wrong points; the machine's recovery-driven
+    refetch masks many of these) and, decisively, advances the live
+    reconvergent pointer of an active restart sequence one instruction
+    past the true reconvergence point — the restart then fetches a
+    duplicate of the reconvergent instruction into the gap.  Run the
+    machine with ``strict_commit=True`` (exact-postdom machines): the
+    commit-time next-PC check escalates the mis-splice to a
+    ``CosimulationError`` instead of silently repairing it.
+    """
+
+    kind = "reconv-table"
+
+    def __init__(
+        self, seed: int = 0, trigger_retired: int | None = None, entries: int = 4
+    ):
+        super().__init__(seed, trigger_retired)
+        self.entries = entries
+        self._table_rewritten = False
+
+    def _inject(self, proc: Processor) -> bool:
+        table = proc.reconv_table
+        if table is None or not table._reconv_pc:
+            raise ReproError(
+                "ReconvTableFault needs a machine with a reconvergence table "
+                "(reconv_policy=POSTDOM)"
+            )
+        if not self._table_rewritten:
+            self._table_rewritten = True
+            pcs = sorted(table._reconv_pc)
+            program_len = len(proc.program.instructions)
+            for pc in self.rng.sample(pcs, min(self.entries, len(pcs))):
+                table._reconv_pc[pc] = self.rng.randrange(program_len)
+        # Wait (possibly several cycles) for an active restart whose live
+        # reconvergent pointer we can corrupt.
+        for ctx in proc.contexts:
+            if ctx.phase == "restart" and ctx.reconv is not None:
+                skipped = ctx.reconv
+                following = skipped.next
+                if following is not proc.rob.tail_sentinel:
+                    ctx.reconv = following
+                    self.description = (
+                        f"advanced live reconvergent pointer past pc "
+                        f"{skipped.pc} to pc {following.pc} at cycle "
+                        f"{proc.cycle} (plus table rewrite)"
+                    )
+                    return True
+        return False
+
+
+class DroppedWakeupFault(FaultInjector):
+    """Swallow one instruction's wakeups mid-run.
+
+    Intercepts the processor's wakeup path; after the trigger, the
+    ``drop_index``-th eligible wakeup selects the victim, and every
+    wakeup for that victim from then on is dropped.  With
+    ``require_issued=True`` (default) the victim is an instruction that
+    already issued and must recompute with better operands — it retires
+    a stale value, caught by the retirement value check.  With
+    ``require_issued=False`` the victim never issues at all: retirement
+    wedges behind it and the forward-progress watchdog reports the
+    livelock.
+    """
+
+    kind = "dropped-wakeup"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trigger_retired: int | None = None,
+        drop_index: int = 0,
+        require_issued: bool = True,
+    ):
+        super().__init__(seed, trigger_retired)
+        self.drop_index = drop_index
+        self.require_issued = require_issued
+        self.victim_uid: int | None = None
+        self.dropped = 0
+        self._seen = 0
+
+    def arm(self, processor: Processor) -> None:
+        super().arm(processor)
+        original = processor._wake
+
+        def _wake(node, eligible):
+            if self.fired:
+                if node.uid == self.victim_uid:
+                    self.dropped += 1
+                    return
+            elif processor.retired_count >= self.trigger_retired and (
+                (node.issue_count > 0) == self.require_issued
+            ):
+                if self._seen == self.drop_index:
+                    self.fired = True
+                    self.victim_uid = node.uid
+                    self.dropped = 1
+                    self.description = (
+                        f"dropping wakeups of pc {node.pc} (uid {node.uid}) "
+                        f"from cycle {processor.cycle}"
+                    )
+                    return
+                self._seen += 1
+            original(node, eligible)
+
+        # Instance attribute shadows the bound class method for self-calls.
+        processor._wake = _wake
+
+    def _inject(self, proc: Processor) -> bool:
+        return self.fired  # the real work happens in the _wake wrapper
+
+
+def run_with_fault(
+    program: Program,
+    config: CoreConfig,
+    fault: FaultInjector,
+    golden: GoldenTrace | None = None,
+    reconv_table: ReconvergenceTable | None = None,
+) -> CoreStats:
+    """Build a processor, arm ``fault``, and run to completion.
+
+    Returns the stats on (unexpected) survival; the interesting outcome
+    for tests is the :class:`~repro.errors.CosimulationError` /
+    :class:`~repro.errors.SimulationHang` this raises when the checkers
+    catch the corruption.
+    """
+    proc = Processor(program, config, golden, reconv_table)
+    fault.arm(proc)
+    return proc.run()
+
+
+__all__ = [
+    "DroppedWakeupFault",
+    "FaultInjector",
+    "PredictorStateFault",
+    "ReconvTableFault",
+    "RegisterValueFault",
+    "run_with_fault",
+]

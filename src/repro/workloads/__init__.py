@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from ..errors import WorkloadError
 from ..isa import Program, assemble
 from . import kernels
 
@@ -28,14 +30,36 @@ class Workload:
     scale: float
 
 
+#: reject scales that would build multi-hour pure-Python runs up front
+MAX_SCALE = 1000.0
+
+
 def build_workload(name: str, scale: float = 1.0) -> Workload:
     """Assemble the named workload at the given scale.
 
     ``scale`` multiplies the main trip counts; 1.0 yields a few tens of
-    thousands of dynamic instructions per workload.
+    thousands of dynamic instructions per workload.  Invalid names and
+    scales raise :class:`~repro.errors.WorkloadError` before any
+    assembly or simulation happens.
     """
     if name not in _BUILDERS:
-        raise ValueError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        )
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise WorkloadError(
+            f"workload scale must be a number, got {scale!r} "
+            f"({type(scale).__name__})"
+        )
+    if not math.isfinite(scale) or scale <= 0:
+        raise WorkloadError(
+            f"workload scale must be a finite positive number, got {scale!r}"
+        )
+    if scale > MAX_SCALE:
+        raise WorkloadError(
+            f"workload scale {scale!r} exceeds the sanity cap {MAX_SCALE} "
+            "(the paper-scale run is scale=1.0)"
+        )
     source = _BUILDERS[name](scale)
     return Workload(name=name, program=assemble(source, name=name), scale=scale)
 

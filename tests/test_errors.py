@@ -1,0 +1,152 @@
+"""Error taxonomy, config validation and diagnostics snapshots."""
+
+import pytest
+
+from repro.core import (
+    CoreConfig,
+    CosimulationError,
+    GoldenTrace,
+    MachineSnapshot,
+    Processor,
+    ReconvPolicy,
+    SimulationHang,
+)
+from repro.errors import (
+    CellTimeout,
+    CheckpointError,
+    ConfigError,
+    ExecutionLimitExceeded,
+    HarnessError,
+    ReproError,
+    TransientError,
+    WorkloadError,
+)
+from repro.isa import AssemblerError, assemble
+from repro.workloads import build_workload
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            ConfigError,
+            WorkloadError,
+            ExecutionLimitExceeded,
+            SimulationHang,
+            CosimulationError,
+            HarnessError,
+            CellTimeout,
+            CheckpointError,
+            TransientError,
+            AssemblerError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_backward_compatible_bases(self):
+        # Pre-existing call sites catch RuntimeError / ValueError.
+        assert issubclass(ReproError, RuntimeError)
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(WorkloadError, ValueError)
+        assert issubclass(AssemblerError, ValueError)
+
+    def test_simulation_hang_carries_kind_and_snapshot(self):
+        snap = MachineSnapshot(
+            cycle=7, fetch_pc=3, rob_occupancy=2, window_size=256,
+            active_contexts=1, context_phases=("restart",), retired=5,
+            golden_length=100, head_pc=9, head_status="incomplete inflight",
+            incomplete_branches=1,
+        )
+        err = SimulationHang("stuck", snapshot=snap, kind="livelock")
+        assert err.kind == "livelock"
+        assert err.snapshot is snap
+        text = str(err)
+        assert "cycle=7" in text and "rob=2/256" in text
+        assert "restart" in text and "head=pc 9" in text
+        assert snap.last_retired_seq == 4
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        assert CoreConfig().validate() is not None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_size": 0},
+            {"window_size": -4},
+            {"width": 0},
+            {"segment_size": 0},
+            {"window_size": 256, "segment_size": 7},  # not a divisor
+            {"reconv_policy": "postdom"},  # string, not the enum
+            {"completion_model": "spec"},
+            {"repredict_mode": "CI"},
+            {"preemption": "simple"},
+            {"instant_redispatch": True, "reconv_policy": ReconvPolicy.NONE},
+            {"predictor_index_bits": 0},
+            {"predictor_index_bits": 40},
+            {"cache_size_bytes": 0},
+            {"cache_size_bytes": 96 * 1024},  # 768 sets: not a power of two
+            {"cache_hit_latency": 0},
+            {"latencies": {"MUL": 0}},
+            {"max_cycles": 0},
+            {"watchdog_cycles": 0},
+            {"strict_commit": True, "reconv_policy": ReconvPolicy.RETURN_LOOP},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            CoreConfig(**kwargs).validate()
+
+    def test_error_names_the_knob(self):
+        with pytest.raises(ConfigError, match="segment_size"):
+            CoreConfig(window_size=256, segment_size=6).validate()
+
+    def test_processor_rejects_bad_config_up_front(self):
+        program = assemble("li r1, 1\nhalt")
+        with pytest.raises(ConfigError):
+            Processor(program, CoreConfig(window_size=0))
+
+    def test_perfect_cache_skips_cache_geometry(self):
+        CoreConfig(perfect_cache=True, cache_size_bytes=0).validate()
+
+
+class TestWorkloadValidation:
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            build_workload("spice")
+
+    @pytest.mark.parametrize("scale", [0, -1, float("nan"), float("inf"), "big", None, True, 1e9])
+    def test_bad_scale(self, scale):
+        with pytest.raises(WorkloadError, match="scale"):
+            build_workload("go", scale)
+
+    def test_assembler_rejects_non_string_source(self):
+        with pytest.raises(AssemblerError, match="string"):
+            assemble(b"halt")
+
+
+class TestGoldenTraceBudget:
+    def test_infinite_loop_raises_not_truncates(self):
+        # A program that never halts must raise ExecutionLimitExceeded —
+        # a silently truncated golden trace would make co-simulation
+        # report phantom divergences at the cut-off.
+        program = assemble("spin:\n  addi r1, r1, 1\n  jump spin\n  halt")
+        with pytest.raises(ExecutionLimitExceeded, match="golden trace"):
+            GoldenTrace(program, max_steps=500)
+
+    def test_budget_is_not_off_by_one(self):
+        # Exactly max_steps dynamic instructions must succeed.
+        program = assemble(
+            """
+            li   r1, 5
+        loop:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+            """
+        )
+        from repro.functional import run
+
+        n = len(run(program))
+        assert len(GoldenTrace(program, max_steps=n).entries) == n
+        with pytest.raises(ExecutionLimitExceeded):
+            GoldenTrace(program, max_steps=n - 1)

@@ -1,0 +1,205 @@
+"""Fault-isolated cell runner: retry, timeout, degradation, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import CellTimeout, CheckpointError, TransientError
+from repro.harness.runner import (
+    Cell,
+    CellRunner,
+    CheckpointStore,
+    RunnerConfig,
+    call_with_timeout,
+    config_hash,
+)
+
+
+def make_runner(tmp_path=None, **kwargs):
+    sleeps = []
+    if tmp_path is not None:
+        kwargs.setdefault("checkpoint_path", tmp_path / "ckpt.json")
+    runner = CellRunner(RunnerConfig(**kwargs), sleep=sleeps.append)
+    return runner, sleeps
+
+
+CELL = Cell(experiment="table1", workload="go", config_hash="abc123", scale=0.1)
+
+
+class TestConfigHash:
+    def test_stable_across_equal_dicts(self):
+        a = config_hash({"window": 256, "policy": "postdom"})
+        b = config_hash({"policy": "postdom", "window": 256})
+        assert a == b
+
+    def test_distinguishes_different_configs(self):
+        from repro.core import CoreConfig
+
+        assert config_hash(CoreConfig()) != config_hash(CoreConfig(window_size=128))
+
+    def test_handles_enums_and_dataclasses(self):
+        from repro.core import CoreConfig, ReconvPolicy
+
+        h = config_hash({"cfg": CoreConfig(), "policy": ReconvPolicy.POSTDOM})
+        assert isinstance(h, str) and len(h) == 12
+
+
+class TestRetry:
+    def test_transient_failure_retries_then_succeeds(self):
+        runner, sleeps = make_runner(max_attempts=3, backoff_seconds=0.5)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("blip")
+            return {"ipc": 1.5}
+
+        result = runner.run_cell(CELL, flaky)
+        assert result.ok and result.value == {"ipc": 1.5}
+        assert result.attempts == 3 and len(calls) == 3
+        assert sleeps == [0.5, 1.0]  # exponential backoff
+
+    def test_permanent_failure_degrades_without_retry(self):
+        runner, sleeps = make_runner(max_attempts=3)
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bad knob")
+
+        result = runner.run_cell(CELL, broken)
+        assert not result.ok and len(calls) == 1  # deterministic: one shot
+        assert result.error_type == "ValueError" and "bad knob" in result.error
+        assert result.as_row() == {
+            "error": "bad knob", "error_type": "ValueError", "attempts": 1,
+        }
+        assert sleeps == []
+
+    def test_transient_failure_exhausts_attempts_then_degrades(self):
+        runner, _ = make_runner(max_attempts=2)
+
+        def always_flaky():
+            raise TransientError("still flaky")
+
+        result = runner.run_cell(CELL, always_flaky)
+        assert not result.ok
+        assert result.error_type == "TransientError" and result.attempts == 2
+
+    def test_run_cells_isolates_failures(self):
+        runner, _ = make_runner(max_attempts=1)
+        other = Cell("table1", "gcc", "abc123", 0.1)
+        results = runner.run_cells(
+            [(CELL, lambda: 1 / 0), (other, lambda: {"ipc": 2.0})]
+        )
+        assert [r.ok for r in results] == [False, True]
+        assert results[1].value == {"ipc": 2.0}
+
+
+class TestTimeout:
+    def test_hung_cell_becomes_cell_timeout(self):
+        def hang():
+            while True:
+                pass
+
+        with pytest.raises(CellTimeout, match="wall-clock budget"):
+            call_with_timeout(hang, 0.2)
+
+    def test_timeout_is_retryable_then_degrades(self):
+        runner, _ = make_runner(max_attempts=2, timeout_seconds=0.1)
+
+        def hang():
+            while True:
+                pass
+
+        result = runner.run_cell(CELL, hang)
+        assert not result.ok
+        assert result.error_type == "CellTimeout" and result.attempts == 2
+
+    def test_no_timeout_means_plain_call(self):
+        assert call_with_timeout(lambda: 42, None) == 42
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        # First run: two cells complete, then the study "dies".
+        runner, _ = make_runner(tmp_path)
+        done = Cell("table1", "go", "abc123", 0.1)
+        also_done = Cell("table1", "gcc", "abc123", 0.1)
+        pending = Cell("table1", "comp", "abc123", 0.1)
+        assert runner.run_cell(done, lambda: {"ipc": 1.0}).ok
+        assert runner.run_cell(also_done, lambda: {"ipc": 2.0}).ok
+
+        # Second run (fresh runner = fresh process): finished cells are
+        # served from the checkpoint without re-invoking their functions.
+        resumed, _ = make_runner(tmp_path)
+
+        def must_not_run():
+            raise AssertionError("completed cell was re-simulated")
+
+        r1 = resumed.run_cell(done, must_not_run)
+        r2 = resumed.run_cell(also_done, must_not_run)
+        r3 = resumed.run_cell(pending, lambda: {"ipc": 3.0})
+        assert r1.resumed and r1.value == {"ipc": 1.0}
+        assert r2.resumed and r2.value == {"ipc": 2.0}
+        assert not r3.resumed and r3.value == {"ipc": 3.0}
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path):
+        runner, _ = make_runner(tmp_path, max_attempts=1)
+        assert not runner.run_cell(CELL, lambda: 1 / 0).ok
+
+        retry, _ = make_runner(tmp_path)
+        result = retry.run_cell(CELL, lambda: {"ipc": 9.0})
+        assert result.ok and not result.resumed  # actually re-ran
+
+    def test_different_config_hash_is_a_different_cell(self, tmp_path):
+        runner, _ = make_runner(tmp_path)
+        runner.run_cell(CELL, lambda: {"ipc": 1.0})
+        other_cfg = Cell(CELL.experiment, CELL.workload, "ffff00", CELL.scale)
+        result = runner.run_cell(other_cfg, lambda: {"ipc": 4.0})
+        assert not result.resumed and result.value == {"ipc": 4.0}
+
+    def test_corrupt_checkpoint_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointStore(path)
+
+    def test_wrong_version_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 99, "results": {}}))
+        with pytest.raises(CheckpointError, match="unexpected layout"):
+            CheckpointStore(path)
+
+    def test_non_serialisable_value_fails_at_record_time(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json")
+        with pytest.raises(CheckpointError, match="non-JSON-serialisable"):
+            store.record("k", {"bad": object()})
+
+
+class TestRunStudy:
+    def test_study_degrades_and_resumes(self, tmp_path):
+        from repro.harness import run_study
+
+        path = tmp_path / "study.json"
+        first = run_study(
+            experiments=["table1"], scale=0.02, names=("go",),
+            checkpoint_path=path,
+        )
+        row = first["results"]["table1"]["go"]
+        assert first["failures"] == [] and first["resumed"] == 0
+        assert "error" not in row
+
+        second = run_study(
+            experiments=["table1"], scale=0.02, names=("go",),
+            checkpoint_path=path,
+        )
+        assert second["resumed"] == 1
+        assert second["results"]["table1"]["go"] == row
+
+    def test_unknown_experiment_rejected(self):
+        from repro.errors import ConfigError
+        from repro.harness import run_study
+
+        with pytest.raises(ConfigError, match="figure99"):
+            run_study(experiments=["figure99"], scale=0.02, names=("go",))
