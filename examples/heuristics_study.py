@@ -11,9 +11,9 @@ Usage:  python heuristics_study.py [scale]
 
 import sys
 
-from repro.cfg import ReconvergenceTable
-from repro.core import CoreConfig, GoldenTrace, Processor, ReconvPolicy
-from repro.workloads import WORKLOAD_NAMES, build_workload
+from repro.core import CoreConfig, Processor, ReconvPolicy
+from repro.harness import load_bundle
+from repro.workloads import WORKLOAD_NAMES
 
 POLICIES = (
     ReconvPolicy.RETURN,
@@ -28,18 +28,20 @@ def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
     print(f"{'workload':10s}" + "".join(f"{p.value:>17s}" for p in POLICIES))
     for name in WORKLOAD_NAMES:
-        program = build_workload(name, scale).program
-        golden = GoldenTrace(program)
-        table = ReconvergenceTable(program)
+        # load_bundle serves the assembled program, golden trace and
+        # reconvergence table from the content-addressed artifact cache.
+        bundle = load_bundle(name, scale)
         base = Processor(
-            program, CoreConfig(window_size=256, reconv_policy=ReconvPolicy.NONE),
-            golden, table,
+            bundle.program,
+            CoreConfig(window_size=256, reconv_policy=ReconvPolicy.NONE),
+            bundle.golden, bundle.reconv,
         ).run().ipc
         cells = []
         for policy in POLICIES:
             cfg = CoreConfig(window_size=256, reconv_policy=policy)
-            ipc = Processor(program, cfg, golden, table).run().ipc
-            cells.append(f"{100 * (ipc / base - 1):+15.1f}% ")
+            ipc = Processor(bundle.program, cfg, bundle.golden, bundle.reconv).run().ipc
+            pct = 100 * (ipc / base - 1) if base else 0.0
+            cells.append(f"{pct:+15.1f}% ")
         print(f"{name:10s}" + "".join(cells))
     print("\n(percent IPC improvement over a complete-squash BASE machine)")
 

@@ -11,8 +11,9 @@ Usage:  python ideal_study.py [workload] [scale]
 
 import sys
 
-from repro.ideal import IdealConfig, IdealModel, annotate, simulate
-from repro.workloads import WORKLOAD_NAMES, build_workload
+from repro.harness import load_bundle
+from repro.ideal import IdealConfig, IdealModel, simulate
+from repro.workloads import WORKLOAD_NAMES
 
 
 def main() -> None:
@@ -21,9 +22,11 @@ def main() -> None:
     if name not in WORKLOAD_NAMES:
         raise SystemExit(f"choose a workload from {WORKLOAD_NAMES}")
 
-    workload = build_workload(name, scale)
+    # The bundle (program + reconvergence table) comes from the shared
+    # artifact cache; the annotated trace is memoized on the bundle.
+    bundle = load_bundle(name, scale)
     print(f"annotating {name} (scale {scale}) ...")
-    trace = annotate(workload.program)
+    trace = bundle.annotated()
     print(f"{len(trace)} dynamic instructions, "
           f"{trace.misprediction_count} mispredictions\n")
 

@@ -24,6 +24,11 @@ class GoldenTrace:
 
     def __init__(self, program: Program, history_bits: int = 16, max_steps: int = 5_000_000):
         self.program = program
+        # Recorded so caches can content-address a trace: two traces of
+        # byte-identical programs with the same history_bits are
+        # interchangeable (repro.harness.cache relies on this).
+        self.history_bits = history_bits
+        self.max_steps = max_steps
         try:
             self.entries: list[TraceEntry] = run(program, max_steps)
         except ExecutionLimitExceeded as exc:

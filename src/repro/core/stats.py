@@ -55,50 +55,63 @@ class CoreStats:
     branch_events: int = 0  # conditional + indirect predictions retired
     branch_mispredictions_retired: int = 0  # wrong prediction at retire time
 
+    @staticmethod
+    def _ratio(numerator: float, denominator: float) -> float:
+        """Every derived ratio funnels through this guard: an empty or
+        degraded run (no cycles, no recoveries, no restarts) reports
+        0.0 instead of raising ZeroDivisionError mid-study."""
+        if denominator == 0:
+            return 0.0
+        return numerator / denominator
+
     @property
     def ipc(self) -> float:
-        return self.retired / self.cycles if self.cycles else 0.0
+        return self._ratio(self.retired, self.cycles)
 
     @property
     def issues_per_retired(self) -> float:
         """Paper Table 4: how many times the retired instructions issued."""
-        return self.issues_of_retired / self.retired if self.retired else 0.0
+        return self._ratio(self.issues_of_retired, self.retired)
 
     @property
     def reconverge_fraction(self) -> float:
-        if self.recoveries == 0:
-            return 0.0
-        return self.reconverged_recoveries / self.recoveries
+        return self._ratio(self.reconverged_recoveries, self.recoveries)
 
     @property
     def avg_removed(self) -> float:
-        if self.reconverged_recoveries == 0:
-            return 0.0
-        return self.removed_cd_instructions / self.reconverged_recoveries
+        return self._ratio(self.removed_cd_instructions, self.reconverged_recoveries)
 
     @property
     def avg_inserted(self) -> float:
-        if self.reconverged_recoveries == 0:
-            return 0.0
-        return self.inserted_cd_instructions / self.reconverged_recoveries
+        return self._ratio(self.inserted_cd_instructions, self.reconverged_recoveries)
 
     @property
     def avg_ci_preserved(self) -> float:
-        if self.reconverged_recoveries == 0:
-            return 0.0
-        return self.ci_instructions_preserved / self.reconverged_recoveries
+        return self._ratio(self.ci_instructions_preserved, self.reconverged_recoveries)
 
     @property
     def avg_ci_rename_repairs(self) -> float:
-        if self.reconverged_recoveries == 0:
-            return 0.0
-        return self.ci_rename_repairs / self.reconverged_recoveries
+        return self._ratio(self.ci_rename_repairs, self.reconverged_recoveries)
 
     @property
     def avg_restart_cycles(self) -> float:
-        if self.restart_count == 0:
-            return 0.0
-        return self.restart_cycles_total / self.restart_count
+        return self._ratio(self.restart_cycles_total, self.restart_count)
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        """Retirement-time misprediction rate (0.0 when nothing retired)."""
+        return self._ratio(self.branch_mispredictions_retired, self.branch_events)
+
+    @property
+    def false_misprediction_fraction(self) -> float:
+        """Share of recoveries that were false mispredictions (App. A.2)."""
+        return self._ratio(self.false_mispredictions, self.recoveries)
+
+    @property
+    def repredict_accuracy(self) -> float:
+        """Fraction of re-predictions that overturned to the correct
+        outcome (0.0 when the mode never re-predicted)."""
+        return self._ratio(self.repredict_overturned_correct, self.repredict_events)
 
     def table3_fractions(self) -> dict[str, float]:
         """Work saved by CI as fractions of retired instructions (Table 3)."""

@@ -62,6 +62,15 @@ class CheckpointError(HarnessError):
     """A checkpoint store could not be read or written."""
 
 
+class CacheError(HarnessError):
+    """The artifact cache is misconfigured (unusable directory, bad size).
+
+    Corrupt or unreadable on-disk entries are *not* errors — the cache
+    treats them as misses and recomputes — so this is only raised for
+    configuration problems the user must fix.
+    """
+
+
 class TransientError(ReproError):
     """A failure expected to succeed on retry (runner retries these)."""
 
@@ -148,6 +157,7 @@ class CosimulationError(DiagnosedError):
 
 
 __all__ = [
+    "CacheError",
     "CellTimeout",
     "CheckpointError",
     "ConfigError",

@@ -1,0 +1,372 @@
+"""Content-addressed cache for study-wide shared artifacts.
+
+A study is a cross-product of experiments × workloads × configurations,
+but three expensive artifacts depend only on the *workload*: the
+assembled :class:`~repro.isa.Program`, its architectural
+:class:`~repro.core.GoldenTrace` and its post-dominator
+:class:`~repro.cfg.ReconvergenceTable`.  The seed harness re-derived all
+three per cell, so a thirteen-experiment study traced every workload
+thirteen times.  This module derives them at most once:
+
+* **in-memory LRU** — per process, bounded by ``max_entries``; repeated
+  cells in one process share the same objects;
+* **optional on-disk pickle layer** — shared across processes, so the
+  parallel scheduler's workers load traces the parent already derived
+  instead of re-tracing.
+
+Entries are **content-addressed**: the key is a
+:func:`~repro.harness.runner.config_hash` over the assembled program's
+instructions plus the trace parameters (``history_bits``,
+``max_steps``), *not* over the workload name.  Two workloads that
+assemble to the same program share one trace; editing a kernel changes
+the key, so stale disk entries are never served — invalidation is
+automatic and there is nothing to flush (old files are merely dead
+weight, removable with ``clear_disk()``).
+
+Corrupt or unreadable disk entries are treated as misses and rewritten.
+Only configuration problems (an unusable cache directory, a nonsensical
+size) raise :class:`~repro.errors.CacheError`.
+
+Sharing hazard: cached artifacts are returned by reference and must be
+treated as immutable.  The simulators only read them; the fault
+injectors in :mod:`repro.robustness` deliberately corrupt reconvergence
+tables in place, so fault-injection harnesses must build their own
+tables rather than pull from a cache (they already do — the injectors
+construct machines directly, not through :func:`load_bundle`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..cfg import ReconvergenceTable
+from ..core import GoldenTrace
+from ..errors import CacheError
+from ..isa import Program
+from ..workloads import build_workload
+from .runner import config_hash
+
+#: bump when the pickled payload layout changes; keys embed this, so a
+#: new version simply misses old files instead of mis-reading them.
+CACHE_VERSION = 1
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, split by layer."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0  # artifact had to be derived from scratch
+    evictions: int = 0
+    disk_write_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / self.lookups
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_write_errors": self.disk_write_errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _LRU:
+    """Minimal thread-safe LRU over an OrderedDict (no TTL needed: keys
+    are content hashes, so an entry can never become wrong, only cold)."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            if key not in self._data:
+                return None
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of an assembled program (instructions + data + entry)."""
+    return config_hash(
+        (
+            "program",
+            CACHE_VERSION,
+            tuple(program.instructions),
+            tuple(sorted(program.data.items())),
+            program.entry,
+        )
+    )
+
+
+@dataclass
+class WorkloadArtifacts:
+    """The per-workload bundle the cache hands out, plus its identity."""
+
+    name: str
+    scale: float
+    program: Program
+    fingerprint: str
+    golden: GoldenTrace
+    reconv: ReconvergenceTable
+
+
+class ArtifactCache:
+    """Two-layer (memory LRU + optional disk pickle) artifact cache."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk_dir: str | Path | None = None,
+    ):
+        if max_entries < 1:
+            raise CacheError(f"cache max_entries must be >= 1, got {max_entries!r}")
+        self._lru = _LRU(max_entries)
+        self._programs = _LRU(max_entries)
+        self.stats = CacheStats()
+        self.disk_dir: Path | None = None
+        if disk_dir is not None:
+            path = Path(disk_dir)
+            try:
+                path.mkdir(parents=True, exist_ok=True)
+                # Probe name is per-process/instance: pool workers probe a
+                # shared directory concurrently, and a shared name lets one
+                # worker unlink another's probe mid-check.
+                probe = path / f".repro-cache-probe.{os.getpid()}.{id(self):x}"
+                probe.write_bytes(b"")
+                probe.unlink(missing_ok=True)
+            except OSError as exc:
+                raise CacheError(
+                    f"cache directory {path} is not writable: {exc}"
+                ) from exc
+            self.disk_dir = path
+
+    # -- programs ------------------------------------------------------
+
+    def program(self, name: str, scale: float) -> tuple[Program, str]:
+        """Assemble (or reuse) a workload program and its content hash.
+
+        Assembly is cheap relative to tracing, so programs live only in
+        the memory layer; the fingerprint is computed once per entry.
+        """
+        key = f"prog/{name}/{scale!r}"
+        hit = self._programs.get(key)
+        if hit is not None:
+            return hit
+        program = build_workload(name, scale).program
+        entry = (program, program_fingerprint(program))
+        self._programs.put(key, entry)
+        return entry
+
+    # -- trace + table artifacts ---------------------------------------
+
+    def artifacts(
+        self,
+        name: str,
+        scale: float,
+        history_bits: int = 16,
+        max_steps: int = 5_000_000,
+    ) -> WorkloadArtifacts:
+        """Golden trace + reconvergence table for one workload, cached.
+
+        The key is content-addressed by the assembled program, so any
+        two cells over the same program share one derivation per
+        process — or one per *study* when a disk layer is shared with
+        the parallel scheduler's workers.
+        """
+        program, fingerprint = self.program(name, scale)
+        key = config_hash(
+            ("artifacts", CACHE_VERSION, fingerprint, history_bits, max_steps)
+        )
+
+        cached = self._lru.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            golden, reconv = cached
+        else:
+            payload = self._disk_read(key)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                golden, reconv = payload
+            else:
+                self.stats.misses += 1
+                golden = GoldenTrace(
+                    program, history_bits=history_bits, max_steps=max_steps
+                )
+                reconv = ReconvergenceTable(program)
+                self._disk_write(key, (golden, reconv))
+            self._lru.put(key, (golden, reconv))
+            self.stats.evictions = self._lru.evictions
+        return WorkloadArtifacts(
+            name=name,
+            scale=scale,
+            program=program,
+            fingerprint=fingerprint,
+            golden=golden,
+            reconv=reconv,
+        )
+
+    # -- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> Any | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # A truncated/corrupt entry is a miss, not an error; drop it
+            # so the rewrite below replaces it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_write(self, key: str, payload: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers race benignly
+        except OSError:
+            self.stats.disk_write_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear_memory(self) -> None:
+        self._lru.clear()
+        self._programs.clear()
+
+    def clear_disk(self) -> None:
+        if self.disk_dir is None:
+            return
+        for path in self.disk_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Default (per-process) cache
+
+_default: ArtifactCache | None = None
+_default_lock = threading.Lock()
+
+
+def _env_max_entries(env=os.environ) -> int:
+    raw = env.get("REPRO_CACHE_SIZE", str(DEFAULT_MAX_ENTRIES))
+    try:
+        value = int(raw)
+    except ValueError:
+        raise CacheError(
+            f"REPRO_CACHE_SIZE={raw!r} is not an integer; expected a "
+            f"positive entry count such as REPRO_CACHE_SIZE={DEFAULT_MAX_ENTRIES}"
+        ) from None
+    if value < 1:
+        raise CacheError(
+            f"REPRO_CACHE_SIZE={raw!r} must be >= 1 (it bounds the "
+            "in-memory artifact LRU)"
+        )
+    return value
+
+
+def get_default_cache() -> ArtifactCache:
+    """The process-wide cache, built from env on first use.
+
+    ``REPRO_CACHE_DIR`` enables the shared disk layer;
+    ``REPRO_CACHE_SIZE`` bounds the in-memory LRU (default
+    {DEFAULT_MAX_ENTRIES} workload entries).
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ArtifactCache(
+                max_entries=_env_max_entries(),
+                disk_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            )
+        return _default
+
+
+def configure_default_cache(
+    max_entries: int | None = None, disk_dir: str | Path | None = None
+) -> ArtifactCache:
+    """Replace the process-wide cache (parallel workers use this to
+    point at the study's shared disk layer)."""
+    global _default
+    with _default_lock:
+        _default = ArtifactCache(
+            max_entries=max_entries if max_entries is not None else _env_max_entries(),
+            disk_dir=disk_dir,
+        )
+        return _default
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide cache (tests use this for isolation)."""
+    global _default
+    with _default_lock:
+        _default = None
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "CacheStats",
+    "WorkloadArtifacts",
+    "configure_default_cache",
+    "get_default_cache",
+    "program_fingerprint",
+    "reset_default_cache",
+]

@@ -51,14 +51,33 @@ class WorkloadBundle:
         return self._annotated
 
 
-def load_bundle(name: str, scale: float) -> WorkloadBundle:
-    workload = build_workload(name, scale)
+def load_bundle(name: str, scale: float, cache=None) -> WorkloadBundle:
+    """Assemble + trace one workload, served from the artifact cache.
+
+    The program, golden trace and reconvergence table depend only on
+    (name, scale), so every experiment in a study shares one derivation
+    per process — see :mod:`repro.harness.cache`.  Pass ``cache=False``
+    to force a fresh, private derivation (needed when the caller will
+    mutate the artifacts, e.g. fault injection).
+    """
+    if cache is False:
+        workload = build_workload(name, scale)
+        return WorkloadBundle(
+            name=name,
+            scale=scale,
+            program=workload.program,
+            golden=GoldenTrace(workload.program),
+            reconv=ReconvergenceTable(workload.program),
+        )
+    from .cache import get_default_cache
+
+    artifacts = (cache or get_default_cache()).artifacts(name, scale)
     return WorkloadBundle(
         name=name,
         scale=scale,
-        program=workload.program,
-        golden=GoldenTrace(workload.program),
-        reconv=ReconvergenceTable(workload.program),
+        program=artifacts.program,
+        golden=artifacts.golden,
+        reconv=artifacts.reconv,
     )
 
 
@@ -149,12 +168,22 @@ def run_figure5(
     return out
 
 
+def _percent_improvement(value: float, base: float) -> float:
+    """Percent gain over a baseline; 0.0 when the baseline retired
+    nothing (a degraded BASE cell must not take down derived figures)."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (value / base - 1.0)
+
+
 def run_figure6(figure5: dict) -> dict:
     """Percent IPC improvement of CI over BASE, from figure-5 data."""
     out: dict = {}
     for name, machines in figure5.items():
         out[name] = {
-            window: 100.0 * (machines["CI"][window] / machines["BASE"][window] - 1.0)
+            window: _percent_improvement(
+                machines["CI"][window], machines["BASE"][window]
+            )
             for window in machines["BASE"]
         }
     return out
@@ -401,7 +430,7 @@ def run_figure17(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -
         for policy in HEURISTIC_POLICIES:
             cfg = CoreConfig(window_size=window, reconv_policy=policy)
             ipc = run_core(bundle, cfg).ipc
-            out[name][policy.value] = 100.0 * (ipc / base - 1.0)
+            out[name][policy.value] = _percent_improvement(ipc, base)
     return out
 
 
@@ -426,12 +455,56 @@ EXPERIMENTS: dict = {
 }
 
 
+def validate_experiments(experiments=None) -> list:
+    """Resolve an experiment selection, rejecting unknown names."""
+    from ..errors import ConfigError
+
+    chosen = list(experiments) if experiments is not None else list(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return chosen
+
+
+def study_cells(chosen, names, scale: float, experiment_kwargs: dict):
+    """Enumerate the study grid as Cells, in deterministic order.
+
+    Serial and parallel execution share this enumeration, so a
+    checkpoint written by one is resumable by the other.
+    """
+    from .runner import Cell, config_hash
+
+    cells = []
+    for exp in chosen:
+        knob_hash = config_hash({"experiment": exp, **experiment_kwargs})
+        for name in names:
+            cells.append(
+                Cell(experiment=exp, workload=name, config_hash=knob_hash, scale=scale)
+            )
+    return cells
+
+
+def unwrap_row(workload: str, row):
+    """Per-workload runners return {name: data} or [row]; unwrap to the
+    single workload's data for a uniform table."""
+    if isinstance(row, dict) and set(row) == {workload}:
+        return row[workload]
+    if isinstance(row, list) and len(row) == 1:
+        return row[0]
+    return row
+
+
 def run_study(
     experiments=None,
     scale: float = 0.12,
     names=WORKLOAD_NAMES,
     checkpoint_path=None,
     runner: "CellRunner | None" = None,
+    jobs: "int | str | None" = None,
+    cache_dir=None,
+    timeout_seconds: float | None = None,
     **experiment_kwargs,
 ) -> dict:
     """Run a cross-product of experiments × workloads fault-isolated.
@@ -442,44 +515,54 @@ def run_study(
     and — when ``checkpoint_path`` is given — completed cells are
     skipped on resume after an interruption.
 
+    ``jobs`` (default: the ``REPRO_JOBS`` env var, else 1; ``"auto"`` =
+    CPU count) fans the grid across worker processes via
+    :func:`repro.harness.parallel.run_study_parallel`; results are
+    byte-identical to the serial run.  A caller-supplied ``runner``
+    forces the serial path (its policy cannot cross process boundaries).
+
     Returns ``{"results": {experiment: {workload: row-or-error}},
     "failures": [CellResult...], "resumed": int}``.
     """
-    from ..errors import ConfigError
-    from .runner import Cell, CellRunner, RunnerConfig, config_hash
+    from .runner import CellRunner, RunnerConfig
 
-    chosen = list(experiments) if experiments is not None else list(EXPERIMENTS)
-    unknown = [e for e in chosen if e not in EXPERIMENTS]
-    if unknown:
-        raise ConfigError(
-            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
-        )
+    chosen = validate_experiments(experiments)
     if runner is None:
-        runner = CellRunner(RunnerConfig(checkpoint_path=checkpoint_path))
+        from .parallel import resolve_jobs, run_study_parallel
+
+        if resolve_jobs(jobs) > 1:
+            return run_study_parallel(
+                experiments=chosen,
+                scale=scale,
+                names=names,
+                checkpoint_path=checkpoint_path,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                timeout_seconds=timeout_seconds,
+                **experiment_kwargs,
+            )
+        runner = CellRunner(
+            RunnerConfig(
+                checkpoint_path=checkpoint_path, timeout_seconds=timeout_seconds
+            )
+        )
 
     results: dict = {exp: {} for exp in chosen}
     failures: list = []
     resumed = 0
-    for exp in chosen:
-        fn = EXPERIMENTS[exp]
-        knob_hash = config_hash({"experiment": exp, **experiment_kwargs})
-        for name in names:
-            cell = Cell(
-                experiment=exp, workload=name, config_hash=knob_hash, scale=scale
-            )
-            result = runner.run_cell(
-                cell,
-                lambda fn=fn, name=name: fn(scale, names=(name,), **experiment_kwargs),
-            )
-            resumed += result.resumed
-            if not result.ok:
-                failures.append(result)
-            row = result.as_row()
-            # Per-workload runners return either {name: data} or [row];
-            # unwrap to the single workload's data for a uniform table.
-            if result.ok and isinstance(row, dict) and set(row) == {name}:
-                row = row[name]
-            elif result.ok and isinstance(row, list) and len(row) == 1:
-                row = row[0]
-            results[exp][name] = row
+    for cell in study_cells(chosen, names, scale, experiment_kwargs):
+        fn = EXPERIMENTS[cell.experiment]
+        result = runner.run_cell(
+            cell,
+            lambda fn=fn, name=cell.workload: fn(
+                scale, names=(name,), **experiment_kwargs
+            ),
+        )
+        resumed += result.resumed
+        if not result.ok:
+            failures.append(result)
+        row = result.as_row()
+        if result.ok:
+            row = unwrap_row(cell.workload, row)
+        results[cell.experiment][cell.workload] = row
     return {"results": results, "failures": failures, "resumed": resumed}

@@ -1,0 +1,241 @@
+"""Parallel study scheduler: fan the experiment grid across processes.
+
+The study grid (experiments × workloads) is embarrassingly parallel —
+cells share nothing but the read-only workload artifacts — yet the seed
+harness drove it serially through one process.  This module dispatches
+pending cells to a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **job count** — the ``jobs`` argument, else the ``REPRO_JOBS``
+  environment variable, else 1; ``"auto"`` means the CPU count.
+* **checkpoint integration** — cells already in the
+  :class:`~repro.harness.runner.CheckpointStore` are satisfied *before*
+  dispatch, so a resumed study only pays for unfinished cells.  The
+  parent process is the only checkpoint writer (workers return results;
+  the parent records them), so no cross-process file locking is needed.
+* **process-safe timeouts** — each worker enforces the per-cell budget
+  inside its own process via
+  :func:`~repro.harness.runner.call_with_timeout` (SIGALRM on the
+  worker's own main thread, a thread-join deadline elsewhere).  No
+  timer ever crosses a process boundary, unlike the old
+  parent-side SIGALRM which was both main-thread-only and shared.
+* **once-per-study tracing** — before dispatch the parent derives every
+  workload's golden trace and reconvergence table into a disk-backed
+  :class:`~repro.harness.cache.ArtifactCache` shared with the workers
+  (a temporary directory unless ``cache_dir`` is given), so the
+  expensive artifacts are derived exactly once per (program,
+  history_bits) per study instead of once per cell per worker.
+
+Results are assembled in the same deterministic order as the serial
+path, so a parallel study returns byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any
+
+from ..errors import ConfigError
+from ..workloads import WORKLOAD_NAMES
+from .runner import Cell, CellResult, CellRunner, CheckpointStore, RunnerConfig
+
+
+def resolve_jobs(jobs: int | str | None = None, env=os.environ) -> int:
+    """Resolve a worker count from an argument or ``REPRO_JOBS``.
+
+    Accepts a positive integer or ``"auto"`` (CPU count).  Invalid
+    values raise :class:`~repro.errors.ConfigError` naming the source.
+    """
+    source = "jobs"
+    raw: Any = jobs
+    if raw is None:
+        source = "REPRO_JOBS"
+        raw = env.get("REPRO_JOBS", "1")
+    if isinstance(raw, str) and raw.strip().lower() == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(raw, bool) or not isinstance(raw, (int, str)):
+        raise ConfigError(
+            f"{source}={raw!r} is not a job count; expected a positive "
+            f"integer or 'auto'"
+        )
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{source}={raw!r} is not a job count; expected a positive "
+            f"integer or 'auto'"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"{source}={raw!r} must be >= 1 (or 'auto')")
+    return value
+
+
+def _init_worker(cache_dir: str | None) -> None:
+    """Point the worker's default artifact cache at the study's shared
+    disk layer, so traces the parent pre-derived are loaded, not re-run."""
+    if cache_dir:
+        from .cache import configure_default_cache
+
+        configure_default_cache(disk_dir=cache_dir)
+
+
+def _run_cell(
+    experiment: str,
+    workload: str,
+    knob_hash: str,
+    scale: float,
+    experiment_kwargs: dict,
+    runner_knobs: dict,
+) -> dict:
+    """Execute one cell inside a worker process.
+
+    Returns a plain dict (picklable) mirroring
+    :class:`~repro.harness.runner.CellResult`; never raises for cell
+    failures — the worker-side :class:`CellRunner` degrades them.
+    """
+    from .experiments import EXPERIMENTS
+
+    cell = Cell(
+        experiment=experiment, workload=workload, config_hash=knob_hash, scale=scale
+    )
+    runner = CellRunner(RunnerConfig(checkpoint_path=None, **runner_knobs))
+    fn = EXPERIMENTS[experiment]
+    result = runner.run_cell(
+        cell, lambda: fn(scale, names=(workload,), **experiment_kwargs)
+    )
+    return {
+        "key": result.key,
+        "status": result.status,
+        "value": result.value,
+        "error": result.error,
+        "error_type": result.error_type,
+        "attempts": result.attempts,
+    }
+
+
+def _prewarm_cache(cache, names, scale: float) -> None:
+    """Derive every workload's shared artifacts once, up front.
+
+    A bogus workload name must degrade as a per-cell error row (exactly
+    as it does serially), not kill the study here — so derivation
+    failures are swallowed and left for the owning cells to report.
+    """
+    for name in names:
+        try:
+            cache.artifacts(name, scale)
+        except Exception:
+            pass
+
+
+def run_study_parallel(
+    experiments=None,
+    scale: float = 0.12,
+    names=WORKLOAD_NAMES,
+    checkpoint_path=None,
+    jobs: int | str | None = None,
+    cache_dir=None,
+    timeout_seconds: float | None = None,
+    max_attempts: int = 3,
+    **experiment_kwargs,
+) -> dict:
+    """Parallel twin of :func:`repro.harness.experiments.run_study`.
+
+    Same contract and same (byte-identical) rows; adds ``"jobs"`` to the
+    returned dict.  With ``jobs=1`` the grid still runs through the pool
+    path (one worker) — call ``run_study`` for a purely in-process run.
+    """
+    from .cache import ArtifactCache
+    from .experiments import study_cells, unwrap_row, validate_experiments
+
+    chosen = validate_experiments(experiments)
+    n_jobs = resolve_jobs(jobs)
+    store = CheckpointStore(checkpoint_path) if checkpoint_path is not None else None
+
+    cells = study_cells(chosen, names, scale, experiment_kwargs)
+    outcomes: dict[str, CellResult] = {}
+    pending: list[Cell] = []
+    for cell in cells:
+        if store is not None and store.completed(cell.key):
+            outcomes[cell.key] = CellResult(
+                key=cell.key,
+                status="ok",
+                value=store.value(cell.key),
+                attempts=0,
+                resumed=True,
+            )
+        else:
+            pending.append(cell)
+
+    if pending:
+        runner_knobs = {
+            "timeout_seconds": timeout_seconds,
+            "max_attempts": max_attempts,
+        }
+        tmpdir = None
+        shared_dir = cache_dir
+        if shared_dir is None:
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-study-cache-")
+            shared_dir = tmpdir.name
+        try:
+            cache = ArtifactCache(disk_dir=shared_dir)
+            _prewarm_cache(cache, dict.fromkeys(c.workload for c in pending), scale)
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(str(shared_dir),),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_cell,
+                        cell.experiment,
+                        cell.workload,
+                        cell.config_hash,
+                        cell.scale,
+                        experiment_kwargs,
+                        runner_knobs,
+                    ): cell
+                    for cell in pending
+                }
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:  # worker died / unpicklable
+                        payload = {
+                            "key": cell.key,
+                            "status": "error",
+                            "value": None,
+                            "error": str(exc),
+                            "error_type": type(exc).__name__,
+                            "attempts": 1,
+                        }
+                    result = CellResult(**payload)
+                    if result.ok and store is not None:
+                        store.record(result.key, result.value)
+                    outcomes[result.key] = result
+        finally:
+            if tmpdir is not None:
+                tmpdir.cleanup()
+
+    results: dict = {exp: {} for exp in chosen}
+    failures: list = []
+    resumed = 0
+    for cell in cells:
+        result = outcomes[cell.key]
+        resumed += result.resumed
+        if not result.ok:
+            failures.append(result)
+        row = result.as_row()
+        if result.ok:
+            row = unwrap_row(cell.workload, row)
+        results[cell.experiment][cell.workload] = row
+    return {
+        "results": results,
+        "failures": failures,
+        "resumed": resumed,
+        "jobs": n_jobs,
+    }
+
+
+__all__ = ["resolve_jobs", "run_study_parallel"]

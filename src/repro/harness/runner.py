@@ -42,11 +42,22 @@ CHECKPOINT_VERSION = 1
 
 
 def _canonical(value: Any) -> Any:
-    """Reduce a config-ish value to a deterministic, hashable structure."""
+    """Reduce a config-ish value to a deterministic, hashable structure.
+
+    Every container and converted value carries an explicit type tag so
+    distinct inputs cannot canonicalize to the same structure: without
+    the tags, ``{1: x}`` and ``{"1": x}`` collided through ``str(key)``,
+    an enum collided with the string of its rendered name, and a
+    dataclass collided with a handwritten tuple of its fields.  Mixed
+    element/key types sort by the ``repr`` of their canonical form, so
+    heterogeneous sets and dicts stay deterministic without comparing
+    unlike types.
+    """
     if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
+        return ("enum", type(value).__name__, value.name)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return (
+            "dataclass",
             type(value).__name__,
             tuple(
                 (f.name, _canonical(getattr(value, f.name)))
@@ -54,11 +65,19 @@ def _canonical(value: Any) -> Any:
             ),
         )
     if isinstance(value, dict):
-        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    ((_canonical(k), _canonical(v)) for k, v in value.items()),
+                    key=repr,
+                )
+            ),
+        )
     if isinstance(value, (list, tuple)):
-        return tuple(_canonical(v) for v in value)
+        return ("seq", tuple(_canonical(v) for v in value))
     if isinstance(value, (set, frozenset)):
-        return tuple(sorted(repr(_canonical(v)) for v in value))
+        return ("set", tuple(sorted((_canonical(v) for v in value), key=repr)))
     return value
 
 
@@ -199,30 +218,116 @@ class CheckpointStore:
             ) from exc
 
 
-def call_with_timeout(fn: Callable[[], Any], timeout_seconds: float | None) -> Any:
-    """Run ``fn`` under a SIGALRM wall-clock budget (main thread only).
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget expressed as an absolute monotonic instant.
 
-    Falls back to an unguarded call when no timeout is requested, on
-    platforms without ``SIGALRM``, or off the main thread — the runner
-    still isolates crashes there, just not hangs.
+    Workers in the parallel scheduler carry one of these instead of a
+    signal: each process checks its own clock, so the guard is safe in
+    any thread of any process.
     """
-    if (
-        not timeout_seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        return fn()
 
+    expires_at: float | None  # time.monotonic() instant; None = unbounded
+    budget_seconds: float | None = None
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        if not seconds:
+            return cls(expires_at=None)
+        return cls(expires_at=time.monotonic() + seconds, budget_seconds=seconds)
+
+    def remaining(self) -> float | None:
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "cell") -> None:
+        """Raise :class:`~repro.errors.CellTimeout` once the budget is spent."""
+        if self.expired():
+            raise CellTimeout(
+                f"{what} exceeded its {self.budget_seconds}s wall-clock budget"
+            )
+
+
+class _SigalrmUnavailable(Exception):
+    """SIGALRM could not be installed from this thread (internal marker)."""
+
+
+def _call_with_sigalrm(fn: Callable[[], Any], timeout_seconds: float) -> Any:
     def _alarm(signum, frame):
         raise CellTimeout(f"cell exceeded its {timeout_seconds}s wall-clock budget")
 
-    previous = signal.signal(signal.SIGALRM, _alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _alarm)
+    except ValueError as exc:  # not the main thread after all
+        raise _SigalrmUnavailable(str(exc)) from exc
     signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
     try:
         return fn()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _call_with_thread_deadline(fn: Callable[[], Any], timeout_seconds: float) -> Any:
+    """Enforce a wall-clock budget without signals.
+
+    Runs ``fn`` on a helper thread and joins it with a timeout.  On
+    expiry the caller gets a :class:`~repro.errors.CellTimeout`; the
+    abandoned helper is a daemon thread, so a truly hung cell cannot
+    keep the process alive at exit.
+    """
+    outcome: list = []
+
+    def _target() -> None:
+        try:
+            outcome.append(("ok", fn()))
+        except BaseException as exc:  # propagated to the caller below
+            outcome.append(("err", exc))
+
+    worker = threading.Thread(target=_target, daemon=True)
+    worker.start()
+    worker.join(timeout_seconds)
+    if worker.is_alive():
+        raise CellTimeout(
+            f"cell exceeded its {timeout_seconds}s wall-clock budget "
+            "(deadline enforced off the main thread; the runaway worker "
+            "thread was abandoned)"
+        )
+    status, payload = outcome[0]
+    if status == "err":
+        raise payload
+    return payload
+
+
+def call_with_timeout(fn: Callable[[], Any], timeout_seconds: float | None) -> Any:
+    """Run ``fn`` under a wall-clock budget, whatever thread we are on.
+
+    On the main thread of a process with ``SIGALRM`` the budget is a
+    real interrupt (it stops a hung pure-Python loop mid-flight).  Off
+    the main thread — pytest-xdist workers, user threads — it degrades
+    to a thread-join deadline instead of raising ``ValueError`` from
+    ``signal.signal`` or silently dropping the guard.  Pool workers in
+    ``repro.harness.parallel`` take the SIGALRM path: each worker
+    process owns its main thread, so per-cell timers never cross
+    process boundaries.
+    """
+    if not timeout_seconds:
+        return fn()
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        try:
+            return _call_with_sigalrm(fn, timeout_seconds)
+        except _SigalrmUnavailable:
+            # Lost the main-thread race (e.g. an embedded interpreter
+            # re-homed the thread): fall through to the portable guard.
+            pass
+    return _call_with_thread_deadline(fn, timeout_seconds)
 
 
 class CellRunner:
@@ -301,6 +406,7 @@ __all__ = [
     "CellRunner",
     "CellResult",
     "CheckpointStore",
+    "Deadline",
     "RunnerConfig",
     "call_with_timeout",
     "config_hash",

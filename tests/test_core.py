@@ -213,3 +213,50 @@ class TestStatsIntegrity:
             stats.true_mispredictions + stats.false_mispredictions
             == stats.recoveries
         )
+
+
+class TestStatsZeroDenominators:
+    """Every derived ratio must report 0.0 on an empty/degraded run
+    instead of raising ZeroDivisionError mid-study."""
+
+    RATIO_PROPERTIES = (
+        "ipc",
+        "issues_per_retired",
+        "reconverge_fraction",
+        "avg_removed",
+        "avg_inserted",
+        "avg_ci_preserved",
+        "avg_ci_rename_repairs",
+        "avg_restart_cycles",
+        "branch_misprediction_rate",
+        "false_misprediction_fraction",
+        "repredict_accuracy",
+    )
+
+    def test_all_ratios_survive_empty_stats(self):
+        from repro.core import CoreStats
+
+        empty = CoreStats()
+        for name in self.RATIO_PROPERTIES:
+            assert getattr(empty, name) == 0.0, name
+
+    def test_table3_fractions_survive_empty_stats(self):
+        from repro.core import CoreStats
+
+        fractions = CoreStats().table3_fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+    def test_ratios_still_divide_when_populated(self):
+        from repro.core import CoreStats
+
+        stats = CoreStats(cycles=4, retired=8, recoveries=4,
+                          reconverged_recoveries=2, removed_cd_instructions=6)
+        assert stats.ipc == 2.0
+        assert stats.reconverge_fraction == 0.5
+        assert stats.avg_removed == 3.0
+
+    def test_figure6_survives_zero_base_ipc(self):
+        from repro.harness.experiments import run_figure6
+
+        figure5 = {"go": {"BASE": {128: 0.0}, "CI": {128: 1.5}, "CI-I": {128: 1.6}}}
+        assert run_figure6(figure5) == {"go": {128: 0.0}}

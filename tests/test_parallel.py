@@ -1,0 +1,139 @@
+"""Parallel study scheduler: equivalence, resume, isolation, job knobs."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import run_study
+from repro.harness.parallel import resolve_jobs, run_study_parallel
+
+# Small but non-trivial grid: two experiments x two workloads.
+EXPS = ["table1"]
+NAMES = ("go", "compress")
+SCALE = 0.02
+
+
+class TestResolveJobs:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_is_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_auto_maps_to_cpu_count(self):
+        assert resolve_jobs("auto") >= 1
+
+    @pytest.mark.parametrize("bad", ["zero?", "-1", "0", "1.5"])
+    def test_bad_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    @pytest.mark.parametrize("bad", [0, -2, 2.5, True])
+    def test_bad_argument_rejected(self, bad):
+        with pytest.raises(ConfigError, match="jobs"):
+            resolve_jobs(bad)
+
+
+class TestParallelEquivalence:
+    def test_rows_byte_identical_to_serial(self):
+        serial = run_study(experiments=EXPS, scale=SCALE, names=NAMES)
+        parallel = run_study(experiments=EXPS, scale=SCALE, names=NAMES, jobs=2)
+        assert parallel["jobs"] == 2
+        assert parallel["failures"] == [] and serial["failures"] == []
+        assert json.dumps(parallel["results"], sort_keys=True) == json.dumps(
+            serial["results"], sort_keys=True
+        )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError, match="figure99"):
+            run_study_parallel(experiments=["figure99"], scale=SCALE, names=NAMES)
+
+    def test_bad_workload_degrades_to_error_row(self):
+        out = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=("go", "not-a-benchmark"), jobs=2
+        )
+        assert "error" not in out["results"]["table1"]["go"]
+        bad = out["results"]["table1"]["not-a-benchmark"]
+        assert bad["error_type"] == "WorkloadError"
+        assert len(out["failures"]) == 1
+
+
+class TestParallelResume:
+    def test_killed_study_resumes_without_resimulating(self, tmp_path, monkeypatch):
+        path = tmp_path / "study.json"
+        # "Kill" a study half-way: only one workload's cells completed.
+        first = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=("go",), jobs=2,
+            checkpoint_path=path,
+        )
+        assert first["resumed"] == 0 and not first["failures"]
+
+        # Resume over the full grid: the finished cell must be served
+        # from the checkpoint, the missing one dispatched.
+        second = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2,
+            checkpoint_path=path,
+        )
+        assert second["resumed"] == 1 and not second["failures"]
+        assert second["results"]["table1"]["go"] == first["results"]["table1"]["go"]
+
+        # Fully-resumed study: no pool may even be constructed.
+        import repro.harness.parallel as parallel_mod
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("a completed study must not dispatch workers")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", no_pool)
+        third = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2,
+            checkpoint_path=path,
+        )
+        assert third["resumed"] == len(EXPS) * len(NAMES)
+        assert third["results"] == second["results"]
+
+    def test_serial_checkpoint_is_resumable_in_parallel(self, tmp_path):
+        path = tmp_path / "study.json"
+        serial = run_study(
+            experiments=EXPS, scale=SCALE, names=NAMES, checkpoint_path=path
+        )
+        parallel = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2,
+            checkpoint_path=path,
+        )
+        assert parallel["resumed"] == len(EXPS) * len(NAMES)
+        assert json.dumps(parallel["results"], sort_keys=True) == json.dumps(
+            serial["results"], sort_keys=True
+        )
+
+    def test_run_study_dispatches_to_parallel_via_jobs(self, tmp_path):
+        out = run_study(
+            experiments=EXPS, scale=SCALE, names=("go",), jobs=2,
+            checkpoint_path=tmp_path / "study.json",
+        )
+        assert out["jobs"] == 2 and not out["failures"]
+
+
+class TestSharedCacheDir:
+    def test_study_populates_and_reuses_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "artifacts"
+        run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2, cache_dir=cache_dir
+        )
+        entries = list(cache_dir.glob("*.pkl"))
+        # one artifact bundle per workload, traced once by the parent
+        assert len(entries) == len(NAMES)
+        mtimes = {p: p.stat().st_mtime_ns for p in entries}
+
+        # A second study over the same grid reuses the entries untouched.
+        run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2, cache_dir=cache_dir
+        )
+        assert {p: p.stat().st_mtime_ns for p in entries} == mtimes

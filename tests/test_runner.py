@@ -44,6 +44,39 @@ class TestConfigHash:
         assert isinstance(h, str) and len(h) == 12
 
 
+class TestCanonicalCollisions:
+    """Type-tagged canonicalization: distinct configs must hash apart."""
+
+    def test_int_and_str_dict_keys_do_not_collide(self):
+        assert config_hash({1: "x"}) != config_hash({"1": "x"})
+
+    def test_enum_does_not_collide_with_its_rendered_name(self):
+        from repro.core import ReconvPolicy
+
+        assert config_hash(ReconvPolicy.POSTDOM) != config_hash(
+            "ReconvPolicy.POSTDOM"
+        )
+
+    def test_dataclass_does_not_collide_with_equivalent_tuple(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Knob:
+            a: int = 1
+
+        handwritten = ("dataclass", "Knob", (("a", 1),))
+        assert config_hash(Knob()) != config_hash(handwritten)
+
+    def test_set_does_not_collide_with_tuple_of_same_elements(self):
+        assert config_hash({1, 2}) != config_hash((1, 2))
+
+    def test_mixed_type_sets_hash_deterministically(self):
+        assert config_hash({1, "1", 2.5}) == config_hash({2.5, 1, "1"})
+
+    def test_mixed_type_dict_keys_hash_deterministically(self):
+        assert config_hash({1: "a", "1": "b"}) == config_hash({"1": "b", 1: "a"})
+
+
 class TestRetry:
     def test_transient_failure_retries_then_succeeds(self):
         runner, sleeps = make_runner(max_attempts=3, backoff_seconds=0.5)
@@ -118,6 +151,78 @@ class TestTimeout:
 
     def test_no_timeout_means_plain_call(self):
         assert call_with_timeout(lambda: 42, None) == 42
+
+    def _run_in_thread(self, fn):
+        """Run fn on a worker thread, returning ('ok', value) or ('err', exc)."""
+        import threading
+
+        out = []
+
+        def target():
+            try:
+                out.append(("ok", fn()))
+            except BaseException as exc:
+                out.append(("err", exc))
+
+        t = threading.Thread(target=target)
+        t.start()
+        t.join(10)
+        assert out, "worker thread did not finish"
+        return out[0]
+
+    def test_off_main_thread_timeout_is_enforced_not_a_crash(self):
+        # Before the deadline fallback this raised ValueError from
+        # signal.signal (or silently skipped the guard).
+        def hang():
+            while True:
+                pass
+
+        status, payload = self._run_in_thread(
+            lambda: call_with_timeout(hang, 0.2)
+        )
+        assert status == "err" and isinstance(payload, CellTimeout)
+
+    def test_off_main_thread_value_and_errors_propagate(self):
+        status, payload = self._run_in_thread(
+            lambda: call_with_timeout(lambda: 42, 5.0)
+        )
+        assert (status, payload) == ("ok", 42)
+
+        def boom():
+            raise ValueError("bad knob")
+
+        status, payload = self._run_in_thread(
+            lambda: call_with_timeout(boom, 5.0)
+        )
+        assert status == "err" and isinstance(payload, ValueError)
+
+    def test_main_thread_value_error_is_not_swallowed(self):
+        # The SIGALRM setup failure marker must not eat fn's ValueError.
+        def boom():
+            raise ValueError("from the cell itself")
+
+        with pytest.raises(ValueError, match="from the cell itself"):
+            call_with_timeout(boom, 5.0)
+
+
+class TestDeadline:
+    def test_unbounded_deadline_never_expires(self):
+        from repro.harness.runner import Deadline
+
+        d = Deadline.after(None)
+        assert d.remaining() is None and not d.expired()
+        d.check()  # no raise
+
+    def test_expired_deadline_raises_cell_timeout(self):
+        from repro.harness.runner import Deadline
+
+        d = Deadline.after(0.001)
+        import time
+
+        time.sleep(0.01)
+        assert d.expired()
+        with pytest.raises(CellTimeout, match="wall-clock budget"):
+            d.check()
 
 
 class TestCheckpointResume:
