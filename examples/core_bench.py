@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Single-cell performance benchmark with equivalence checking.
+
+Times a fixed matrix of simulated cells — every workload through the
+detailed core (BASE / CI / CI-I) and all six idealized models — and
+proves the hot-loop optimizations changed nothing observable: every cell
+with a golden entry in ``tests/goldens/equivalence.pkl`` (captured from
+the seed, pre-optimization implementation) must reproduce its statistics
+exactly, or the benchmark fails.
+
+Writes ``BENCH_core.json`` with per-cell wall-clock times, the total,
+the speedup versus the recorded seed-implementation time, and a sample
+of the per-stage cycle-accounting counters (``repro.profiling``).
+
+Usage:
+    python examples/core_bench.py [--quick] [--profile] [--out PATH]
+                                  [--check BASELINE_JSON]
+
+* ``--quick``   — reduced matrix (2 workloads, 18 cells) for CI smoke.
+* ``--profile`` — additionally cProfile the slowest core cell and print
+  the hot functions (host-time view).
+* ``--check``   — compare against a previously committed BENCH_core.json:
+  exit 2 if the summed wall clock over the cells both runs share
+  regressed by more than 25%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pickle
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import CoreConfig, ReconvPolicy  # noqa: E402
+from repro.harness.experiments import load_bundle, run_core  # noqa: E402
+from repro.ideal.models import IdealConfig, IdealModel  # noqa: E402
+from repro.ideal.scheduler import simulate  # noqa: E402
+from repro.profiling import profile_callable, stage_profile  # noqa: E402
+from repro.workloads import WORKLOAD_NAMES  # noqa: E402
+
+SCALE = 0.12
+WINDOW = 256
+#: full-matrix wall clock of the seed (pre-optimization) implementation,
+#: measured on the reference container before the hot-loop work landed
+SEED_SECONDS = 7.214
+QUICK_WORKLOADS = ("compress", "jpeg")
+GOLDEN_PATH = REPO_ROOT / "tests" / "goldens" / "equivalence.pkl"
+
+CORE_MACHINES = {
+    "BASE": dict(window_size=WINDOW, reconv_policy=ReconvPolicy.NONE),
+    "CI": dict(window_size=WINDOW, reconv_policy=ReconvPolicy.POSTDOM),
+    "CI-I": dict(
+        window_size=WINDOW,
+        reconv_policy=ReconvPolicy.POSTDOM,
+        instant_redispatch=True,
+    ),
+}
+
+IDEAL_GOLDEN_FIELDS = (
+    "cycles",
+    "retired",
+    "fetched_wrong_path",
+    "full_squashes",
+    "selective_squashes",
+    "detections",
+)
+
+
+def check_golden(goldens, key, current) -> list[str]:
+    """Compare one cell against its golden (if any); returns mismatches."""
+    golden = goldens.get(key)
+    if golden is None:
+        return []
+    return [
+        f"{'/'.join(map(str, key))}: {field} golden={golden[field]} "
+        f"current={current[field]}"
+        for field in golden
+        if current.get(field) != golden[field]
+    ]
+
+
+def run_matrix(workloads, goldens):
+    """Time every cell; returns (cell_times, mismatches, stage_sample)."""
+    cells: dict[str, float] = {}
+    mismatches: list[str] = []
+    stage_sample = None
+    for name in workloads:
+        bundle = load_bundle(name, SCALE)
+        for machine, knobs in CORE_MACHINES.items():
+            t0 = time.perf_counter()
+            stats = run_core(bundle, CoreConfig(**knobs))
+            cells[f"core/{name}/{machine}"] = round(time.perf_counter() - t0, 4)
+            mismatches += check_golden(
+                goldens, ("core", name, machine), dataclasses.asdict(stats)
+            )
+            if machine == "CI":  # one representative cycle-accounting view
+                stage_sample = {
+                    "cell": f"core/{name}/CI",
+                    **stage_profile(stats).counters(),
+                }
+        trace = bundle.annotated()
+        for model in IdealModel:
+            t0 = time.perf_counter()
+            r = simulate(trace, model, IdealConfig(window_size=WINDOW))
+            cells[f"ideal/{name}/{model.value}"] = round(
+                time.perf_counter() - t0, 4
+            )
+            current = {field: getattr(r, field) for field in IDEAL_GOLDEN_FIELDS}
+            mismatches += check_golden(goldens, ("ideal", name, model.value), current)
+    return cells, mismatches, stage_sample
+
+
+def check_regression(cells: dict[str, float], baseline_path: Path) -> int:
+    """Exit status for the CI perf gate: compare shared cells vs baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    shared = sorted(set(cells) & set(baseline.get("cells", {})))
+    if not shared:
+        print(f"regression check: no shared cells with {baseline_path}")
+        return 0
+    base = sum(baseline["cells"][k] for k in shared)
+    now = sum(cells[k] for k in shared)
+    ratio = now / base if base else 1.0
+    print(
+        f"regression check over {len(shared)} shared cells: "
+        f"baseline {base:.3f}s, current {now:.3f}s ({ratio:.2f}x)"
+    )
+    if ratio > 1.25:
+        print("FAIL: wall clock regressed by more than 25%")
+        return 2
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced CI matrix")
+    parser.add_argument("--profile", action="store_true", help="cProfile a hot cell")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_core.json")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE_JSON")
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else WORKLOAD_NAMES
+    with GOLDEN_PATH.open("rb") as f:
+        goldens = pickle.load(f)
+
+    t0 = time.perf_counter()
+    cells, mismatches, stage_sample = run_matrix(workloads, goldens)
+    total = time.perf_counter() - t0
+
+    if mismatches:
+        print("EQUIVALENCE FAILURE: statistics diverged from the seed goldens")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    checked = sum(
+        1
+        for key in goldens
+        if f"{key[0]}/{key[1]}/{key[2]}" in cells
+    )
+    print(f"equivalence: {checked} golden cells matched exactly")
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "scale": SCALE,
+        "window": WINDOW,
+        "cells": cells,
+        "seconds": round(total, 3),
+        "seed_seconds": SEED_SECONDS,
+        "speedup_vs_seed": round(SEED_SECONDS / total, 2) if not args.quick else None,
+        "golden_cells_checked": checked,
+        "stage_cycles_sample": stage_sample,
+    }
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    mode = "quick" if args.quick else "full"
+    print(f"{mode} matrix: {len(cells)} cells in {total:.3f}s -> {args.out}")
+    if not args.quick:
+        print(f"speedup vs seed implementation: {SEED_SECONDS / total:.2f}x")
+    if stage_sample:
+        print(f"stage cycle sample ({stage_sample['cell']}):")
+        for key, value in stage_sample.items():
+            if key != "cell":
+                print(f"  {key:<10} {value}")
+
+    if args.profile:
+        slowest = max(
+            (k for k in cells if k.startswith("core/")), key=cells.__getitem__
+        )
+        _, name, machine = slowest.split("/")
+        bundle = load_bundle(name, SCALE)
+        print(f"\ncProfile of {slowest}:")
+        _, text = profile_callable(
+            run_core, bundle, CoreConfig(**CORE_MACHINES[machine]), top=15
+        )
+        print(text)
+
+    if args.check is not None:
+        return check_regression(cells, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

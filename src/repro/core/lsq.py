@@ -24,17 +24,27 @@ class LoadStoreQueue:
     def __init__(self):
         self._stores: dict[int, DynInstr] = {}
         self._loads: dict[int, DynInstr] = {}
+        #: stores whose address is still unknown — kept in sync by
+        #: :meth:`store_resolved` so the branch-completion gate scans the
+        #: (usually tiny) unresolved subset, not every store in flight
+        self._unresolved_stores: dict[int, DynInstr] = {}
 
     # ------------------------------------------------------------------
     def add(self, node: DynInstr) -> None:
-        if node.instr.is_store:
+        if node.instr.f_store:
             self._stores[node.uid] = node
-        elif node.instr.is_load:
+            self._unresolved_stores[node.uid] = node
+        elif node.instr.f_load:
             self._loads[node.uid] = node
 
     def drop(self, node: DynInstr) -> None:
         self._stores.pop(node.uid, None)
         self._loads.pop(node.uid, None)
+        self._unresolved_stores.pop(node.uid, None)
+
+    def store_resolved(self, node: DynInstr) -> None:
+        """The store completed: its address is now known."""
+        self._unresolved_stores.pop(node.uid, None)
 
     # ------------------------------------------------------------------
     def forward_source(self, load: DynInstr) -> DynInstr | None:
@@ -55,7 +65,7 @@ class LoadStoreQueue:
     def unresolved_older_stores(self, node: DynInstr) -> bool:
         """Any older store whose address is still unknown?"""
         order = node.order
-        for store in self._stores.values():
+        for store in self._unresolved_stores.values():
             if not store.completed and store.order < order:
                 return True
         return False

@@ -34,7 +34,7 @@ from ..cfg import ReconvergenceTable
 from ..errors import CosimulationError, MachineSnapshot, SimulationHang
 from ..isa import NUM_REGS, Op, Program, evaluate
 from ..memsys import PerfectCache, SetAssociativeCache
-from ..ideal.models import op_latency
+from ..ideal.models import latency_table
 from .config import CompletionModel, CoreConfig, Preemption, ReconvPolicy, RepredictMode
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
@@ -142,6 +142,33 @@ class Processor:
         self._pending_branches: list[tuple[DynInstr, int]] = []
         self._incomplete_branches: dict[int, DynInstr] = {}
 
+        # Hot-path precomputation: execution latency by dense opcode, and
+        # the completion-model gates resolved to plain booleans.
+        self._lat = latency_table(cfg.latencies)
+        self._gate_in_order = cfg.completion_model.branches_in_order
+        self._gate_stores = cfg.completion_model.requires_resolved_stores
+
+        # Event-maintained gating state: the oldest alive incomplete
+        # branch (in-order completion models consult it per completing
+        # branch instead of rescanning every incomplete branch).  The
+        # cache is repaired on dispatch and invalidated when its node
+        # completes or is squashed; ``None`` while valid means "no
+        # incomplete branch in the window".
+        self._oldest_gate: DynInstr | None = None
+        self._oldest_gate_valid = True
+
+        # Rename-map memoization: _map_after results are valid until the
+        # window contents (or the commit-side map) change; the epoch
+        # stamps both.  Nested recoveries and the sequencer reactivation
+        # repeatedly rebuild the same anchor's map within one cycle.
+        self._map_epoch = 0
+        self._map_cache: dict[int, list] = {}
+        self._map_cache_epoch = -1
+
+        # Per-cycle stage-activity flags for the cycle-accounting layer.
+        self._any_completed = False
+        self._any_recovered = False
+
         # Hardware reconvergence heuristics (Appendix A.5).
         self._return_targets: set[int] = set()
         self._loop_targets: set[int] = set()
@@ -198,13 +225,10 @@ class Processor:
 
         Counts alive instructions from the window head (the paper's own
         instance-matching approach, with the same instance-mismatch
-        caveats it describes in Appendix A.3.1)."""
-        index = self.retired_count
-        for other in self.rob.iter_all():
-            if other is node:
-                return index
-            index += 1
-        return index
+        caveats it describes in Appendix A.3.1).  Served by the ROB's
+        incrementally maintained position index rather than a per-call
+        head-to-node scan."""
+        return self.retired_count + self.rob.index_of(node)
 
     def _golden_entry_for(self, node: DynInstr):
         entry = self.golden.entry(self._golden_index(node))
@@ -233,16 +257,16 @@ class Processor:
             ctx.insert_point = node
             ctx.inserted += 1
         self.stats.fetched += 1
+        self._map_epoch += 1
 
         rmap = ctx.rmap
-        sources = instr.sources
-        if instr.rs1 in sources:
+        if instr.reads_rs1:
             node.src1_tag = rmap[instr.rs1]
             node.src1_tag.consumers.append(node)
-        if instr.rs2 in sources:
+        if instr.reads_rs2:
             node.src2_tag = rmap[instr.rs2]
             node.src2_tag.consumers.append(node)
-        dest = instr.dest
+        dest = instr.dest_reg
         if dest is not None:
             node.dest_arch = dest
             node.prev_tag = rmap[dest]
@@ -252,7 +276,7 @@ class Processor:
 
         self.lsq.add(node)
 
-        if instr.is_control:
+        if instr.f_control:
             self._predict_control(ctx, node)
             ctx.fetch_pc = node.current_next_pc
         else:
@@ -260,8 +284,12 @@ class Processor:
             if instr.op is Op.HALT:
                 ctx.stalled = True
 
-        if instr.is_branch or instr.op is Op.JR:
+        if instr.f_branch or instr.f_indirect:
             self._incomplete_branches[node.uid] = node
+            if self._oldest_gate_valid:
+                oldest = self._oldest_gate
+                if oldest is None or node.order < oldest.order:
+                    self._oldest_gate = node
 
         # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch stage).
         if self._operands_ready(node):
@@ -272,7 +300,7 @@ class Processor:
         cfg = self.config
         node.ras_snapshot = self.frontend.ras.snapshot()
         history = ctx.ghr
-        if cfg.oracle_global_history and node.instr.is_branch:
+        if cfg.oracle_global_history and node.instr.f_branch:
             entry_index = self._golden_index(node)
             if 0 <= entry_index < len(self.golden.history_before):
                 history = self.golden.history_before[entry_index]
@@ -282,12 +310,12 @@ class Processor:
         node.predicted_next_pc = prediction.next_pc
         node.current_taken = prediction.taken
         node.current_next_pc = prediction.next_pc
-        if node.instr.is_branch:
+        if node.instr.f_branch:
             ctx.ghr = self.frontend.push_history(ctx.ghr, prediction.taken)
             if node.instr.target <= node.pc:
                 # Backward branch: remember loop top / loop exit targets.
                 self._loop_targets.add(prediction.next_pc)
-        elif node.instr.is_return:
+        elif node.instr.f_return:
             self._return_targets.add(prediction.next_pc)
 
     def _operands_ready(self, node: DynInstr) -> bool:
@@ -313,17 +341,22 @@ class Processor:
 
     def _issue_phase(self) -> None:
         budget = self.config.width
+        issued = 0
         ready = self._ready
+        pop = heapq.heappop
         while ready and budget > 0:
             eligible, _, _, node = ready[0]
             if eligible > self.cycle:
                 break
-            heapq.heappop(ready)
+            pop(ready)
             node.in_ready = False
             if not node.alive:
                 continue
             self._execute(node)
             budget -= 1
+            issued += 1
+        if issued:
+            self.stats.stage_issue_cycles += 1
 
     def _execute(self, node: DynInstr) -> None:
         self.stats.issues_total += 1
@@ -341,15 +374,15 @@ class Processor:
         if node.src2_tag is not None:
             node.src2_version = node.src2_tag.version
         result = evaluate(instr, node.pc, a, b)
-        latency = op_latency(self.config.latencies, instr.op)
-        if instr.is_load:
+        latency = self._lat[instr.opcode]
+        if instr.f_load:
             node.addr = result.addr
             latency = 1 + self.cache.access(result.addr)
-        elif instr.is_store:
+        elif instr.f_store:
             node.prev_addr = node.addr
             node.addr = result.addr
             node.store_value = result.store_value
-        elif instr.is_control:
+        elif instr.f_control:
             node.outcome_taken = result.taken
             node.outcome_next_pc = result.next_pc
             node.value = result.value  # call link address
@@ -377,15 +410,22 @@ class Processor:
                 if not self._try_complete_branch(node):
                     still_pending.append((node, token))
             self._pending_branches = still_pending
+        if self._any_completed:
+            self.stats.stage_complete_cycles += 1
+            self._any_completed = False
+        if self._any_recovered:
+            self.stats.stage_recover_cycles += 1
+            self._any_recovered = False
 
     def _complete(self, node: DynInstr) -> None:
         instr = node.instr
-        if instr.is_branch or instr.op is Op.JR:
+        if instr.f_branch or instr.f_indirect:
             if not self._try_complete_branch(node):
                 self._pending_branches.append((node, node.issue_count))
             return
         node.completed = True
-        if instr.is_load:
+        self._any_completed = True
+        if instr.f_load:
             source = self.lsq.forward_source(node)
             if source is not None:
                 value = source.store_value
@@ -395,7 +435,8 @@ class Processor:
                 node.fwd_store = None
             node.value = value
             self._broadcast(node)
-        elif instr.is_store:
+        elif instr.f_store:
+            self.lsq.store_resolved(node)
             self._store_executed(node)
         else:
             self._broadcast(node)
@@ -405,9 +446,20 @@ class Processor:
         if tag is None:
             return
         if tag.broadcast(node.value):
-            for consumer in list(tag.consumers):
-                if consumer.alive and consumer is not node:
-                    self._wake(consumer, self.cycle)
+            # _wake only pushes onto the ready heap — it never mutates the
+            # consumer list — so iterating the live list directly is safe
+            # (the old defensive copy allocated per broadcast).
+            wake = self._wake
+            cycle = self.cycle
+            dead = 0
+            for consumer in tag.consumers:
+                if consumer.alive:
+                    if consumer is not node:
+                        wake(consumer, cycle)
+                else:
+                    dead += 1
+            if dead > 8 and dead * 2 > len(tag.consumers):
+                tag.consumers = [c for c in tag.consumers if c.alive]
 
     def _store_executed(self, node: DynInstr) -> None:
         addrs = {node.addr}
@@ -423,14 +475,28 @@ class Processor:
     # ------------------------------------------------------------------
     # branch completion (gating models of Appendix A.2)
 
-    def _branch_gates_open(self, node: DynInstr) -> bool:
-        model = self.config.completion_model
-        if model.branches_in_order:
-            order = node.order
+    def _oldest_incomplete_branch(self) -> DynInstr | None:
+        """Oldest alive incomplete branch, maintained event-style: the
+        cache survives until its node completes or is squashed (dispatch
+        repairs it in place), so in-order gating is one order compare
+        instead of a scan over every incomplete branch."""
+        if not self._oldest_gate_valid:
+            oldest = None
             for other in self._incomplete_branches.values():
-                if other.alive and not other.completed and other.order < order:
-                    return False
-        if model.requires_resolved_stores:
+                if other.alive and not other.completed and (
+                    oldest is None or other.order < oldest.order
+                ):
+                    oldest = other
+            self._oldest_gate = oldest
+            self._oldest_gate_valid = True
+        return self._oldest_gate
+
+    def _branch_gates_open(self, node: DynInstr) -> bool:
+        if self._gate_in_order:
+            oldest = self._oldest_incomplete_branch()
+            if oldest is not None and oldest.order < node.order:
+                return False
+        if self._gate_stores:
             if self.lsq.unresolved_older_stores(node):
                 return False
         return True
@@ -452,7 +518,10 @@ class Processor:
         ):
             return False  # oracle delays completion until operands correct
         node.completed = True
+        self._any_completed = True
         self._incomplete_branches.pop(node.uid, None)
+        if self._oldest_gate is node:
+            self._oldest_gate_valid = False
         if node.dest_tag is not None:  # calls write the link register
             self._broadcast(node)
         if mismatch:
@@ -467,7 +536,7 @@ class Processor:
         if policy is ReconvPolicy.NONE:
             return None
         if policy is ReconvPolicy.POSTDOM:
-            if not branch.instr.is_branch:
+            if not branch.instr.f_branch:
                 return None
             target = self.reconv_table.reconvergent_pc(branch.pc)
             if target is None:
@@ -475,7 +544,7 @@ class Processor:
             candidates = {target}
         else:
             backward = (
-                branch.instr.is_branch and branch.instr.target <= branch.pc
+                branch.instr.f_branch and branch.instr.target <= branch.pc
             )
             if policy.uses_ltb and backward:
                 candidates = {branch.pc + 1}  # not-taken target of the loop branch
@@ -519,6 +588,7 @@ class Processor:
     def _recover(self, branch: DynInstr) -> None:
         """The branch's computed outcome contradicts the fetched path."""
         self.stats.recoveries += 1
+        self._any_recovered = True
         self._classify_misprediction(branch)
         reconv = self._find_reconvergent(branch)
 
@@ -560,13 +630,18 @@ class Processor:
             node = prev
         self.stats.removed_cd_instructions += removed
 
-        # Table 2/3 bookkeeping over the preserved CI region.
+        # Table 2/3 bookkeeping over the preserved CI region (direct link
+        # traversal: this runs once per reconverged recovery over up to a
+        # window's worth of nodes).
         preserved = 0
-        for ci in self.rob.iter_from(reconv):
+        ci = reconv
+        tail = self.rob.tail_sentinel
+        while ci is not tail:
             preserved += 1
             ci.fetched_under_mp = True
             ci.issued_under_mp = ci.issue_count > 0
             ci.reissued_after_mp = False
+            ci = ci.next
         self.stats.ci_instructions_preserved += preserved
 
         # Build the restart context.
@@ -583,7 +658,7 @@ class Processor:
         branch.current_taken = branch.outcome_taken
         branch.current_next_pc = branch.outcome_next_pc
         branch.recovering = True
-        if branch.instr.is_branch:
+        if branch.instr.f_branch:
             self.frontend.ras.restore(branch.ras_snapshot)
         # Prune contexts invalidated by the squash (including any stale
         # context for this same branch), then activate the new one.
@@ -600,11 +675,12 @@ class Processor:
             return ghr
         node = ctx.branch.next
         tail = self.rob.tail_sentinel
+        push = self.frontend.push_history
         while node is not tail:
             if not inclusive and node is stop:
                 break
-            if node.alive and node.instr.is_branch:
-                ghr = self.frontend.push_history(ghr, node.current_taken)
+            if node.alive and node.instr.f_branch:
+                ghr = push(ghr, node.current_taken)
             if inclusive and node is stop:
                 break
             node = node.next
@@ -629,24 +705,35 @@ class Processor:
         self.contexts.clear()
 
     def _history_after(self, branch: DynInstr) -> int:
-        if branch.instr.is_branch:
+        if branch.instr.f_branch:
             return self.frontend.push_history(branch.history_used, branch.outcome_taken)
         return branch.history_used
 
     def _map_after(self, anchor: DynInstr) -> list:
         """Rename map just after ``anchor`` executes, rebuilt forward from
         the commit-side map over the live window contents.  Immune to any
-        amount of prior insertion, removal and redispatch."""
-        rmap = list(self.retired_map)
-        node = self.rob.head_sentinel.next
-        tail = self.rob.tail_sentinel
-        while node is not tail:
-            if node.dest_arch is not None:
-                rmap[node.dest_arch] = node.dest_tag
-            if node is anchor:
-                break
-            node = node.next
-        return rmap
+        amount of prior insertion, removal and redispatch.
+
+        Memoized per (window epoch, anchor): a recovery builds this map
+        and the sequencer's reactivation immediately rebuilds it for the
+        same anchor, so repeated walks within one epoch are one dict hit.
+        Callers mutate the returned map, so each call hands out a copy."""
+        if self._map_cache_epoch != self._map_epoch:
+            self._map_cache.clear()
+            self._map_cache_epoch = self._map_epoch
+        snap = self._map_cache.get(anchor.uid)
+        if snap is None:
+            snap = list(self.retired_map)
+            node = self.rob.head_sentinel.next
+            tail = self.rob.tail_sentinel
+            while node is not tail:
+                if node.dest_arch is not None:
+                    snap[node.dest_arch] = node.dest_tag
+                if node is anchor:
+                    break
+                node = node.next
+            self._map_cache[anchor.uid] = snap
+        return list(snap)
 
     def _full_squash(self, branch: DynInstr) -> None:
         rmap = self._map_after(branch)
@@ -680,12 +767,15 @@ class Processor:
 
     def _squash_node(self, node: DynInstr) -> None:
         self._needs_remap = True  # captured maps may now reference the dead
+        self._map_epoch += 1
         node.squashed = True
-        was_store = node.instr.is_store and node.completed
+        was_store = node.instr.f_store and node.completed
         addr = node.addr
         self.rob.remove(node)
         self.lsq.drop(node)
-        self._incomplete_branches.pop(node.uid, None)
+        if self._incomplete_branches.pop(node.uid, None) is not None:
+            if self._oldest_gate is node:
+                self._oldest_gate_valid = False
         if was_store:
             for load in self.lsq.loads_affected_by(node, {addr}):
                 self.stats.reissues_memory += 1
@@ -763,10 +853,13 @@ class Processor:
         if ctx.stalled:
             return
         budget = self.config.width
+        fetched_before = self.stats.fetched
         while budget > 0 and not self.rob.full and not ctx.stalled:
             if self._dispatch(ctx, ctx.fetch_pc) is None:
                 break
             budget -= 1
+        if self.stats.fetched != fetched_before:
+            self.stats.stage_fetch_cycles += 1
 
     def _restart_fetch(self, ctx: _Context) -> None:
         if ctx.reconv is not None and not ctx.reconv.alive:
@@ -870,15 +963,14 @@ class Processor:
 
     def _redispatch_node(self, ctx: _Context, node: DynInstr, rmap: list) -> bool:
         instr = node.instr
-        sources = instr.sources
         repaired = False
-        if instr.rs1 in sources:
+        if instr.reads_rs1:
             tag = rmap[instr.rs1]
             if tag is not node.src1_tag:
                 node.src1_tag = tag
                 tag.consumers.append(node)
                 repaired = True
-        if instr.rs2 in sources:
+        if instr.reads_rs2:
             tag = rmap[instr.rs2]
             if tag is not node.src2_tag:
                 node.src2_tag = tag
@@ -893,12 +985,12 @@ class Processor:
             rmap[node.dest_arch] = node.dest_tag
 
         # RAS replay so the frontier stack is exact after the walk.
-        if instr.is_call:
+        if instr.f_call:
             self.frontend.ras.push(node.pc + 1)
-        elif instr.is_return:
+        elif instr.f_return:
             self.frontend.ras.pop()
 
-        if instr.is_branch:
+        if instr.f_branch:
             return self._repredict(ctx, node)
         return False
 
@@ -967,7 +1059,10 @@ class Processor:
 
     def _retire_phase(self) -> None:
         budget = self.config.width
+        retired_any = False
         golden = self.golden.entries
+        n_golden = len(golden)
+        tail = self.rob.tail_sentinel
         while budget > 0:
             node = self.rob.head
             if node is None:
@@ -979,12 +1074,12 @@ class Processor:
             # instruction's committed path — possible after a mis-spliced
             # heuristic reconvergence — flush younger state and refetch.
             expected_next = (
-                node.current_next_pc if node.instr.is_control else node.pc + 1
+                node.current_next_pc if node.instr.f_control else node.pc + 1
             )
             succ = node.next
-            if succ is not self.rob.tail_sentinel and succ.pc != expected_next:
+            if succ is not tail and succ.pc != expected_next:
                 self._sequence_repair(node, expected_next)
-            entry = golden[self.retired_count] if self.retired_count < len(golden) else None
+            entry = golden[self.retired_count] if self.retired_count < n_golden else None
             if entry is None or entry.pc != node.pc:
                 raise CosimulationError(
                     f"retired pc {node.pc} but golden expects "
@@ -996,6 +1091,8 @@ class Processor:
                 self.retired_map[node.dest_arch] = node.dest_tag
             self.stats.issues_of_retired += node.issue_count
             node.retired = True
+            retired_any = True
+            self._map_epoch += 1
             self.lsq.drop(node)
             self.rob.retire(node)
             self.retired_count += 1
@@ -1004,10 +1101,12 @@ class Processor:
             if node.instr.op is Op.HALT:
                 self.halted = True
                 break
+        if retired_any:
+            self.stats.stage_retire_cycles += 1
 
     def _check_and_commit(self, node: DynInstr, entry) -> None:
         instr = node.instr
-        if instr.is_store:
+        if instr.f_store:
             if node.addr != entry.addr or node.store_value != entry.store_value:
                 raise CosimulationError(
                     f"store at pc {node.pc}: simulated {node.addr}={node.store_value}, "
@@ -1022,7 +1121,7 @@ class Processor:
                     f"golden {entry.value}",
                     snapshot=self.snapshot(),
                 )
-        if instr.is_control:
+        if instr.f_control:
             if node.current_next_pc != entry.next_pc:
                 raise CosimulationError(
                     f"control at pc {node.pc}: retiring down {node.current_next_pc}, "
@@ -1033,11 +1132,11 @@ class Processor:
             self.frontend.update(
                 instr, node.pc, self.retire_ghr, entry.taken, entry.next_pc
             )
-            if instr.is_branch or (instr.is_indirect and not instr.is_return):
+            if instr.f_branch or (instr.f_indirect and not instr.f_return):
                 self.stats.branch_events += 1
                 if node.predicted_next_pc != entry.next_pc:
                     self.stats.branch_mispredictions_retired += 1
-            if instr.is_branch:
+            if instr.f_branch:
                 self.retire_ghr = self.frontend.push_history(
                     self.retire_ghr, entry.taken
                 )
@@ -1072,7 +1171,7 @@ class Processor:
         node.recovering = False
         self.frontier.fetch_pc = expected_next
         ghr = self.retire_ghr
-        if node.instr.is_branch:
+        if node.instr.f_branch:
             ghr = self.frontend.push_history(ghr, node.outcome_taken)
         self.frontier.ghr = ghr
         self.frontier.rmap = self._map_after(node)
@@ -1080,9 +1179,9 @@ class Processor:
         self.frontier.stalled = False
         if node.ras_snapshot is not None:
             self.frontend.ras.restore(node.ras_snapshot)
-            if node.instr.is_call:
+            if node.instr.f_call:
                 self.frontend.ras.push(node.pc + 1)
-            elif node.instr.is_return:
+            elif node.instr.f_return:
                 self.frontend.ras.pop()
 
     # ==================================================================
@@ -1117,7 +1216,10 @@ class Processor:
             if self.halted:
                 break
             self._issue_phase()
+            fetched_before = self.stats.fetched
             self._sequencer_phase()
+            if self.stats.fetched != fetched_before:
+                self.stats.stage_dispatch_cycles += 1
             for hook in self._cycle_hooks:
                 hook(self)
             self.cycle += 1

@@ -15,6 +15,8 @@ has retired or been squashed.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+
 from ..isa import Instruction
 
 _SPACING = 1 << 16
@@ -144,6 +146,13 @@ class ReorderBuffer:
         self.tail_sentinel.order = 2 * _SPACING
         self.count = 0  # live instructions
         self.segments_allocated = 0
+        #: sorted order keys of every linked (alive) instruction — the
+        #: incremental position index behind :meth:`index_of`.  Orders are
+        #: unique (``_place`` renumbers before a gap collapses), so one
+        #: bisect recovers a node's window position in O(log n) instead of
+        #: the O(window) head-to-node scan the golden-trace matching paid
+        #: per branch completion.
+        self._alive_orders: list[int] = []
 
     # ------------------------------------------------------------------
     # capacity
@@ -183,6 +192,9 @@ class ReorderBuffer:
             node.order = order
             order += _SPACING
             node = node.next
+        self._alive_orders = [
+            n.order for n in self.iter_from(self.head_sentinel.next)
+        ]
 
     def _place(self, node: DynInstr, after: DynInstr) -> None:
         succ = after.next
@@ -192,9 +204,15 @@ class ReorderBuffer:
         succ.prev = node
         lo, hi = after.order, succ.order
         if hi - lo < 2:
+            # Renumbering rebuilds the position index with ``node``
+            # already linked; its midpoint order equals the renumbered
+            # one, so the index entry is already correct.
             self._renumber()
             lo, hi = after.order, succ.order
+            node.order = (lo + hi) // 2
+            return
         node.order = (lo + hi) // 2
+        insort(self._alive_orders, node.order)
 
     def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment:
         """Link ``node`` after ``after``; returns the segment used."""
@@ -214,6 +232,8 @@ class ReorderBuffer:
         node.next.prev = node.prev
         self._release(node)
         self.count -= 1
+        orders = self._alive_orders
+        del orders[bisect_left(orders, node.order)]
 
     def retire(self, node: DynInstr) -> None:
         """Unlink a retired instruction (same slot accounting as remove)."""
@@ -240,6 +260,12 @@ class ReorderBuffer:
 
     def iter_all(self):
         yield from self.iter_from(self.head_sentinel.next)
+
+    def index_of(self, node: DynInstr) -> int:
+        """Window position of a linked node: the number of alive
+        instructions logically older than it (O(log n) via the
+        incrementally maintained order index)."""
+        return bisect_left(self._alive_orders, node.order)
 
     def precedes(self, a: DynInstr, b: DynInstr) -> bool:
         """True if ``a`` is logically older than ``b``."""

@@ -55,6 +55,18 @@ class CoreStats:
     branch_events: int = 0  # conditional + indirect predictions retired
     branch_mispredictions_retired: int = 0  # wrong prediction at retire time
 
+    # Cycle accounting (perf profiling layer) --------------------------
+    # Cycles in which each pipeline stage did any work; a cycle can count
+    # toward several stages.  These are diagnostics for the profiling
+    # layer (repro.profiling / examples/core_bench.py) and never feed a
+    # paper statistic.
+    stage_fetch_cycles: int = 0  # >=1 instruction fetched by the frontier
+    stage_dispatch_cycles: int = 0  # >=1 instruction dispatched (any context)
+    stage_issue_cycles: int = 0  # >=1 instruction issued to execute
+    stage_complete_cycles: int = 0  # >=1 instruction completed
+    stage_recover_cycles: int = 0  # >=1 branch recovery serviced
+    stage_retire_cycles: int = 0  # >=1 instruction retired
+
     @staticmethod
     def _ratio(numerator: float, denominator: float) -> float:
         """Every derived ratio funnels through this guard: an empty or
@@ -112,6 +124,19 @@ class CoreStats:
         """Fraction of re-predictions that overturned to the correct
         outcome (0.0 when the mode never re-predicted)."""
         return self._ratio(self.repredict_overturned_correct, self.repredict_events)
+
+    def stage_cycle_counters(self) -> dict[str, int]:
+        """Per-stage active-cycle counters plus the total, as one dict
+        (the cycle-accounting view the profiling layer reports)."""
+        return {
+            "cycles": self.cycles,
+            "fetch": self.stage_fetch_cycles,
+            "dispatch": self.stage_dispatch_cycles,
+            "issue": self.stage_issue_cycles,
+            "complete": self.stage_complete_cycles,
+            "recover": self.stage_recover_cycles,
+            "retire": self.stage_retire_cycles,
+        }
 
     def table3_fractions(self) -> dict[str, float]:
         """Work saved by CI as fractions of retired instructions (Table 3)."""

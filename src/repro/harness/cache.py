@@ -54,7 +54,9 @@ from .runner import config_hash
 
 #: bump when the pickled payload layout changes; keys embed this, so a
 #: new version simply misses old files instead of mis-reading them.
-CACHE_VERSION = 1
+#: v2: Instruction grew precomputed decoded-metadata slots — pickles
+#: from v1 would unpickle with those slots unset.
+CACHE_VERSION = 2
 
 DEFAULT_MAX_ENTRIES = 32
 

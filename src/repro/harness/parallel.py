@@ -31,6 +31,7 @@ path, so a parallel study returns byte-identical rows.
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -40,12 +41,16 @@ from ..errors import ConfigError
 from ..workloads import WORKLOAD_NAMES
 from .runner import Cell, CellResult, CellRunner, CheckpointStore, RunnerConfig
 
+_log = logging.getLogger(__name__)
+
 
 def resolve_jobs(jobs: int | str | None = None, env=os.environ) -> int:
     """Resolve a worker count from an argument or ``REPRO_JOBS``.
 
-    Accepts a positive integer or ``"auto"`` (CPU count).  Invalid
-    values raise :class:`~repro.errors.ConfigError` naming the source.
+    Accepts a positive integer or ``"auto"`` (CPU count, clamped to 1 —
+    i.e. serial — on a single-CPU host, where pool workers only add
+    fork/pickle overhead).  Invalid values raise
+    :class:`~repro.errors.ConfigError` naming the source.
     """
     source = "jobs"
     raw: Any = jobs
@@ -53,7 +58,16 @@ def resolve_jobs(jobs: int | str | None = None, env=os.environ) -> int:
         source = "REPRO_JOBS"
         raw = env.get("REPRO_JOBS", "1")
     if isinstance(raw, str) and raw.strip().lower() == "auto":
-        return max(1, os.cpu_count() or 1)
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            _log.info(
+                "%s='auto' on a single-CPU host: clamping to serial "
+                "(a process pool would add overhead without parallelism)",
+                source,
+            )
+            return 1
+        _log.info("%s='auto' resolved to %d workers", source, cpus)
+        return cpus
     if isinstance(raw, bool) or not isinstance(raw, (int, str)):
         raise ConfigError(
             f"{source}={raw!r} is not a job count; expected a positive "
@@ -142,14 +156,36 @@ def run_study_parallel(
     """Parallel twin of :func:`repro.harness.experiments.run_study`.
 
     Same contract and same (byte-identical) rows; adds ``"jobs"`` to the
-    returned dict.  With ``jobs=1`` the grid still runs through the pool
-    path (one worker) — call ``run_study`` for a purely in-process run.
+    returned dict.  When the job count resolves to 1 (explicitly, or
+    ``"auto"`` on a single-CPU host) the grid runs through the in-process
+    serial runner instead of a one-worker pool.
     """
     from .cache import ArtifactCache
-    from .experiments import study_cells, unwrap_row, validate_experiments
+    from .experiments import run_study, study_cells, unwrap_row, validate_experiments
 
     chosen = validate_experiments(experiments)
     n_jobs = resolve_jobs(jobs)
+    if n_jobs == 1:
+        _log.info(
+            "study resolved to 1 job: running serially in-process "
+            "(no pool dispatch)"
+        )
+        serial_runner = CellRunner(
+            RunnerConfig(
+                checkpoint_path=checkpoint_path,
+                timeout_seconds=timeout_seconds,
+                max_attempts=max_attempts,
+            )
+        )
+        out = run_study(
+            experiments=chosen,
+            scale=scale,
+            names=names,
+            runner=serial_runner,
+            **experiment_kwargs,
+        )
+        out["jobs"] = 1
+        return out
     store = CheckpointStore(checkpoint_path) if checkpoint_path is not None else None
 
     cells = study_cells(chosen, names, scale, experiment_kwargs)

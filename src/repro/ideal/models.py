@@ -19,6 +19,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..isa import Op
+from ..isa.instructions import NUM_OPCODES
+
 
 class IdealModel(enum.Enum):
     ORACLE = "oracle"
@@ -70,20 +73,37 @@ class IdealConfig:
         return self.wrong_path_cap if self.wrong_path_cap is not None else self.window_size
 
 
+def _latency_class(op: Op) -> str:
+    if op is Op.MUL:
+        return "mul"
+    if op in (Op.DIV, Op.REM):
+        return "div"
+    if op is Op.LOAD:
+        return "load"
+    if op is Op.STORE:
+        return "store"
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        return "branch"
+    if op in (Op.JUMP, Op.CALL, Op.JR):
+        return "jump"
+    return "int"
+
+
+#: latency class name per opcode, resolved once at import time
+LATENCY_CLASS: dict[Op, str] = {op: _latency_class(op) for op in Op}
+
+
+def latency_table(latencies: dict[str, int]) -> list[int]:
+    """Resolve a latency config into a dense table indexed by
+    ``Instruction.opcode`` — the per-simulation form both cycle-level
+    simulators read on their issue paths (one list index instead of an
+    enum hash plus membership cascade per issue)."""
+    table = [latencies["int"]] * NUM_OPCODES
+    for op, cls in LATENCY_CLASS.items():
+        table[op.value] = latencies[cls]
+    return table
+
+
 def op_latency(latencies: dict[str, int], op) -> int:
     """Latency class lookup shared by both simulators."""
-    from ..isa import Op
-
-    if op is Op.MUL:
-        return latencies["mul"]
-    if op in (Op.DIV, Op.REM):
-        return latencies["div"]
-    if op is Op.LOAD:
-        return latencies["load"]
-    if op is Op.STORE:
-        return latencies["store"]
-    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
-        return latencies["branch"]
-    if op in (Op.JUMP, Op.CALL, Op.JR):
-        return latencies["jump"]
-    return latencies["int"]
+    return latencies[LATENCY_CLASS[op]]

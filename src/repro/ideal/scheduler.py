@@ -28,8 +28,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from ..isa import Op
-from .models import IdealConfig, IdealModel, op_latency
+from .models import IdealConfig, IdealModel, latency_table
 from .tracegen import NO_PRODUCER, AnnotatedTrace, Misprediction, decode_internal
 
 
@@ -58,7 +57,7 @@ class _Slot:
         "seq",
         "mp_seq",
         "wp_index",
-        "op",
+        "lat",
         "order",
         "min_ready",
         "pending",
@@ -68,11 +67,11 @@ class _Slot:
         "in_ready_heap",
     )
 
-    def __init__(self, seq: int, mp_seq: int, wp_index: int, op: Op, order: int):
+    def __init__(self, seq: int, mp_seq: int, wp_index: int, lat: int, order: int):
         self.seq = seq  # correct-trace seq, or the parent branch seq for wp
         self.mp_seq = mp_seq  # -1 for correct-path slots
         self.wp_index = wp_index  # -1 for correct-path slots
-        self.op = op
+        self.lat = lat  # execution latency, resolved at fetch
         self.order = order
         self.min_ready = 0
         self.pending = 0
@@ -108,6 +107,13 @@ class IdealScheduler:
         self.model = model
         self.config = config
         self.latencies = config.latencies
+        # Hot-path precomputation: dense opcode-indexed latencies and the
+        # model's behaviour flags resolved to plain booleans (enum-property
+        # lookups cost an enum hash per call on the fetch/issue paths).
+        self._lat = latency_table(config.latencies)
+        self._wastes = model.wastes_resources
+        self._fd = model.false_dependences
+        self._exploits = model.exploits_ci
 
         n = len(trace)
         self.n = n
@@ -177,11 +183,11 @@ class IdealScheduler:
         and, for WR models, a wrong path that actually reaches it within
         the fetch budget.
         """
-        if not self.model.exploits_ci or mp.reconv_seq is None:
+        if not self._exploits or mp.reconv_seq is None:
             return False
         if mp.reconv_seq - mp.seq >= self.config.window_size:
             return False
-        if self.model.wastes_resources:
+        if self._wastes:
             return (
                 mp.wp_reached_reconv
                 and len(mp.wrong_path) <= self.config.wrong_path_limit()
@@ -192,7 +198,7 @@ class IdealScheduler:
         trace = self.trace
         entry = trace.entries[seq]
         instr = entry.instr
-        slot = _Slot(seq, -1, -1, instr.op, self.order_counter)
+        slot = _Slot(seq, -1, -1, self._lat[instr.opcode], self.order_counter)
         self.order_counter += 1
         slot.min_ready = self.cycle + self.config.frontend_stages
         self.active_correct[seq] = slot
@@ -203,7 +209,7 @@ class IdealScheduler:
                 self._add_dep(slot, code)
 
         # False data dependences from outstanding mispredictions (FD models).
-        if self.model.false_dependences and self.outstanding:
+        if self._fd and self.outstanding:
             for mp in self.outstanding.values():
                 if mp.reconv_seq is None or seq < mp.reconv_seq:
                     continue
@@ -218,22 +224,21 @@ class IdealScheduler:
     def _false_dep_hits(self, seq: int, mp: Misprediction) -> bool:
         trace = self.trace
         instr = trace.entries[seq].instr
-        sources = instr.sources
         if mp.false_regs:
             if (
-                instr.rs1 in sources
+                instr.reads_rs1
                 and instr.rs1 in mp.false_regs
                 and trace.dep1[seq] <= mp.seq
             ):
                 return True
             if (
-                instr.rs2 in sources
+                instr.reads_rs2
                 and instr.rs2 in mp.false_regs
                 and trace.dep2[seq] <= mp.seq
             ):
                 return True
         if (
-            instr.is_load
+            instr.f_load
             and mp.false_addrs
             and trace.entries[seq].addr in mp.false_addrs
             and trace.depm[seq] <= mp.seq
@@ -244,7 +249,10 @@ class IdealScheduler:
     def _fetch_wrong(self, mp_seq: int, wp_index: int) -> None:
         mp = self.trace.mispredictions[mp_seq]
         item = mp.wrong_path[wp_index]
-        slot = _Slot(mp_seq, mp_seq, wp_index, item.entry.instr.op, self.order_counter)
+        slot = _Slot(
+            mp_seq, mp_seq, wp_index,
+            self._lat[item.entry.instr.opcode], self.order_counter,
+        )
         self.order_counter += 1
         slot.min_ready = self.cycle + self.config.frontend_stages
         self.wp_slots.setdefault(mp_seq, []).append(slot)
@@ -258,7 +266,7 @@ class IdealScheduler:
     def _on_fetch_misprediction(self, mp: Misprediction, source: _Segment) -> None:
         """A mispredicted control instruction was just fetched from ``source``."""
         self.outstanding[mp.seq] = mp
-        wastes = self.model.wastes_resources
+        wastes = self._wastes
         if self._ci_case(mp):
             if wastes:
                 source.wp_queue.extend(
@@ -377,7 +385,7 @@ class IdealScheduler:
             if slot.issued:
                 continue
             slot.issued = True
-            done = self.cycle + op_latency(self.latencies, slot.op)
+            done = self.cycle + slot.lat
             self.completing.setdefault(done, []).append(slot)
             budget -= 1
 

@@ -96,6 +96,14 @@ class Instruction:
     ``target`` holds a resolved absolute PC for control instructions (the
     assembler resolves labels).  ``imm`` is the immediate operand for ALU
     and memory forms.
+
+    The trailing fields are decoded metadata derived once at construction
+    — opcode classification flags, the source/destination register sets
+    and a dense integer opcode — so the cycle-level simulators read plain
+    slot attributes on their hot paths instead of re-running frozenset
+    membership tests per dynamic instruction.  They assume ``op`` /
+    ``rs1`` / ``rs2`` / ``rd`` are not mutated after construction (the
+    assembler resolves labels before building each instruction).
     """
 
     op: Op
@@ -107,64 +115,92 @@ class Instruction:
     #: Optional source-level annotation (label of the enclosing block).
     label: str = field(default="", compare=False)
 
+    # Decoded metadata (derived, excluded from equality / repr).
+    opcode: int = field(init=False, compare=False, repr=False)
+    f_branch: bool = field(init=False, compare=False, repr=False)
+    f_control: bool = field(init=False, compare=False, repr=False)
+    f_indirect: bool = field(init=False, compare=False, repr=False)
+    f_call: bool = field(init=False, compare=False, repr=False)
+    f_return: bool = field(init=False, compare=False, repr=False)
+    f_load: bool = field(init=False, compare=False, repr=False)
+    f_store: bool = field(init=False, compare=False, repr=False)
+    f_mem: bool = field(init=False, compare=False, repr=False)
+    src_regs: tuple = field(init=False, compare=False, repr=False)
+    reads_rs1: bool = field(init=False, compare=False, repr=False)
+    reads_rs2: bool = field(init=False, compare=False, repr=False)
+    dest_reg: int | None = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        op = self.op
+        self.opcode = op.value
+        self.f_branch = op in COND_BRANCH_OPS
+        self.f_control = op in CONTROL_OPS
+        self.f_indirect = op is Op.JR
+        self.f_call = op is Op.CALL
+        self.f_return = op is Op.JR and self.rs1 == REG_RA
+        self.f_load = op is Op.LOAD
+        self.f_store = op is Op.STORE
+        self.f_mem = op in MEMORY_OPS
+        if op in ALU_RR_OPS or op in COND_BRANCH_OPS or op is Op.STORE:
+            src: tuple[int, ...] = (self.rs1, self.rs2)
+        elif op in ALU_RI_OPS:
+            src = () if op is Op.LI else (self.rs1,)
+        elif op is Op.LOAD or op is Op.JR:
+            src = (self.rs1,)
+        else:
+            src = ()
+        self.src_regs = src
+        self.reads_rs1 = self.rs1 in src
+        self.reads_rs2 = self.rs2 in src
+        if op in ALU_RR_OPS or op in ALU_RI_OPS or op is Op.LOAD or op is Op.CALL:
+            self.dest_reg = self.rd if self.rd != REG_ZERO else None
+        else:
+            self.dest_reg = None
+
     @property
     def is_branch(self) -> bool:
         """True for conditional branches only."""
-        return self.op in COND_BRANCH_OPS
+        return self.f_branch
 
     @property
     def is_control(self) -> bool:
         """True for any instruction that can redirect fetch."""
-        return self.op in CONTROL_OPS
+        return self.f_control
 
     @property
     def is_indirect(self) -> bool:
-        return self.op is Op.JR
+        return self.f_indirect
 
     @property
     def is_call(self) -> bool:
-        return self.op is Op.CALL
+        return self.f_call
 
     @property
     def is_return(self) -> bool:
         """Returns are indirect jumps through the link register."""
-        return self.op is Op.JR and self.rs1 == REG_RA
+        return self.f_return
 
     @property
     def is_load(self) -> bool:
-        return self.op is Op.LOAD
+        return self.f_load
 
     @property
     def is_store(self) -> bool:
-        return self.op is Op.STORE
+        return self.f_store
 
     @property
     def is_mem(self) -> bool:
-        return self.op in MEMORY_OPS
+        return self.f_mem
 
     @property
     def sources(self) -> tuple[int, ...]:
         """Architectural source registers actually read by this instruction."""
-        op = self.op
-        if op in ALU_RR_OPS or op in COND_BRANCH_OPS:
-            return (self.rs1, self.rs2)
-        if op in ALU_RI_OPS:
-            return () if op is Op.LI else (self.rs1,)
-        if op is Op.LOAD or op is Op.JR:
-            return (self.rs1,)
-        if op is Op.STORE:
-            return (self.rs1, self.rs2)
-        return ()
+        return self.src_regs
 
     @property
     def dest(self) -> int | None:
         """Architectural destination register, or None (writes to r0 discarded)."""
-        op = self.op
-        if op in ALU_RR_OPS or op in ALU_RI_OPS or op is Op.LOAD:
-            return self.rd if self.rd != REG_ZERO else None
-        if op is Op.CALL:
-            return self.rd if self.rd != REG_ZERO else None
-        return None
+        return self.dest_reg
 
 
 @dataclass(slots=True)
@@ -216,6 +252,82 @@ def _alu(op: Op, a: int, b: int) -> int:
     raise ValueError(f"not an ALU op: {op}")
 
 
+NUM_OPCODES = max(op.value for op in Op) + 1
+
+
+def _make_eval_table() -> list:
+    """Build the opcode-indexed handler table behind :func:`evaluate`.
+
+    One closure per opcode replaces the frozenset-membership cascade the
+    simulators used to pay per dynamic instruction; semantics are
+    byte-for-byte those of the original if/elif chain (``_alu`` remains
+    the single arithmetic definition)."""
+
+    def alu_rr(op: Op):
+        def handler(instr, pc, a, b, _op=op):
+            return ExecResult(value=_alu(_op, a, b), next_pc=pc + 1)
+
+        return handler
+
+    def alu_ri(op: Op):
+        def handler(instr, pc, a, b, _op=op):
+            return ExecResult(value=_alu(_op, a, instr.imm), next_pc=pc + 1)
+
+        return handler
+
+    def li(instr, pc, a, b):
+        return ExecResult(value=to_signed(instr.imm), next_pc=pc + 1)
+
+    def load(instr, pc, a, b):
+        return ExecResult(addr=to_signed(a + instr.imm), next_pc=pc + 1)
+
+    def store(instr, pc, a, b):
+        return ExecResult(addr=to_signed(a + instr.imm), store_value=b, next_pc=pc + 1)
+
+    def branch(cmp):
+        def handler(instr, pc, a, b, _cmp=cmp):
+            taken = _cmp(a, b)
+            return ExecResult(taken=taken, next_pc=instr.target if taken else pc + 1)
+
+        return handler
+
+    def jump(instr, pc, a, b):
+        return ExecResult(taken=True, next_pc=instr.target)
+
+    def call(instr, pc, a, b):
+        return ExecResult(value=pc + 1, taken=True, next_pc=instr.target)
+
+    def jr(instr, pc, a, b):
+        return ExecResult(taken=True, next_pc=to_signed(a))
+
+    def nop(instr, pc, a, b):
+        return ExecResult(next_pc=pc + 1)
+
+    def halt(instr, pc, a, b):
+        return ExecResult(next_pc=pc + 1, halted=True)
+
+    table: list = [None] * NUM_OPCODES
+    for op in ALU_RR_OPS:
+        table[op.value] = alu_rr(op)
+    for op in ALU_RI_OPS:
+        table[op.value] = li if op is Op.LI else alu_ri(op)
+    table[Op.LOAD.value] = load
+    table[Op.STORE.value] = store
+    table[Op.BEQ.value] = branch(lambda a, b: a == b)
+    table[Op.BNE.value] = branch(lambda a, b: a != b)
+    table[Op.BLT.value] = branch(lambda a, b: a < b)
+    table[Op.BGE.value] = branch(lambda a, b: a >= b)
+    table[Op.JUMP.value] = jump
+    table[Op.CALL.value] = call
+    table[Op.JR.value] = jr
+    table[Op.NOP.value] = nop
+    table[Op.HALT.value] = halt
+    return table
+
+
+_EVAL_BY_OPCODE = _make_eval_table()
+
+
 def evaluate(instr: Instruction, pc: int, a: int = 0, b: int = 0) -> ExecResult:
     """Execute one instruction given concrete source values.
 
@@ -228,35 +340,7 @@ def evaluate(instr: Instruction, pc: int, a: int = 0, b: int = 0) -> ExecResult:
     functional simulator (architectural execution) and the out-of-order
     core (speculative execution with possibly-wrong operand values).
     """
-    op = instr.op
-    if op in ALU_RR_OPS:
-        return ExecResult(value=_alu(op, a, b), next_pc=pc + 1)
-    if op in ALU_RI_OPS:
-        if op is Op.LI:
-            return ExecResult(value=to_signed(instr.imm), next_pc=pc + 1)
-        return ExecResult(value=_alu(op, a, instr.imm), next_pc=pc + 1)
-    if op is Op.LOAD:
-        return ExecResult(addr=to_signed(a + instr.imm), next_pc=pc + 1)
-    if op is Op.STORE:
-        return ExecResult(addr=to_signed(a + instr.imm), store_value=b, next_pc=pc + 1)
-    if op in COND_BRANCH_OPS:
-        if op is Op.BEQ:
-            taken = a == b
-        elif op is Op.BNE:
-            taken = a != b
-        elif op is Op.BLT:
-            taken = a < b
-        else:  # BGE
-            taken = a >= b
-        return ExecResult(taken=taken, next_pc=instr.target if taken else pc + 1)
-    if op is Op.JUMP:
-        return ExecResult(taken=True, next_pc=instr.target)
-    if op is Op.CALL:
-        return ExecResult(value=pc + 1, taken=True, next_pc=instr.target)
-    if op is Op.JR:
-        return ExecResult(taken=True, next_pc=to_signed(a))
-    if op is Op.NOP:
-        return ExecResult(next_pc=pc + 1)
-    if op is Op.HALT:
-        return ExecResult(next_pc=pc + 1, halted=True)
-    raise ValueError(f"unknown opcode: {op}")
+    handler = _EVAL_BY_OPCODE[instr.opcode]
+    if handler is None:
+        raise ValueError(f"unknown opcode: {instr.op}")
+    return handler(instr, pc, a, b)

@@ -1,0 +1,91 @@
+"""Cycle-accounting counters and the profiling helpers.
+
+The stage counters are diagnostics layered onto CoreStats by the
+performance work; these tests pin their invariants (bounded by total
+cycles, consistent with the run's activity) and the repro.profiling
+views over them.
+"""
+
+import pytest
+
+from repro.core import CoreConfig, Processor, ReconvPolicy
+from repro.isa import assemble
+from repro.profiling import (
+    STAGE_NAMES,
+    StageProfile,
+    WallClock,
+    profile_callable,
+    stage_profile,
+)
+
+PROGRAM = """
+    .entry main
+main:
+    li   r1, 30
+    li   r2, 0
+loop:
+    andi r4, r1, 1
+    beq  r4, r0, even
+    add  r2, r2, r1
+    jump join
+even:
+    sub  r2, r2, r1
+join:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    store r2, r0, 100
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def stats():
+    program = assemble(PROGRAM)
+    cfg = CoreConfig(window_size=64, reconv_policy=ReconvPolicy.POSTDOM)
+    return Processor(program, cfg).run()
+
+
+def test_stage_counters_present_and_bounded(stats):
+    counters = stats.stage_cycle_counters()
+    assert set(counters) == {"cycles", *STAGE_NAMES}
+    assert counters["cycles"] == stats.cycles > 0
+    for stage in STAGE_NAMES:
+        assert 0 <= counters[stage] <= stats.cycles, stage
+
+
+def test_stage_counters_reflect_activity(stats):
+    # The run fetched, issued, completed and retired instructions, and
+    # (with this branchy loop) serviced at least one recovery.
+    counters = stats.stage_cycle_counters()
+    for stage in ("fetch", "dispatch", "issue", "complete", "retire"):
+        assert counters[stage] > 0, stage
+    assert stats.recoveries == 0 or counters["recover"] > 0
+
+
+def test_stage_profile_views(stats):
+    profile = stage_profile(stats)
+    assert isinstance(profile, StageProfile)
+    assert profile.counters() == stats.stage_cycle_counters()
+    util = profile.utilization()
+    assert set(util) == set(STAGE_NAMES)
+    assert all(0.0 <= util[s] <= 1.0 for s in STAGE_NAMES)
+    text = profile.format()
+    for stage in STAGE_NAMES:
+        assert stage in text
+
+
+def test_stage_profile_empty_run_has_zero_utilization():
+    empty = StageProfile(0, 0, 0, 0, 0, 0, 0)
+    assert all(v == 0.0 for v in empty.utilization().values())
+
+
+def test_wall_clock_measures_elapsed_time():
+    with WallClock() as clock:
+        sum(range(1000))
+    assert clock.seconds >= 0.0
+
+
+def test_profile_callable_returns_result_and_report():
+    result, report = profile_callable(sorted, [3, 1, 2], top=5)
+    assert result == [1, 2, 3]
+    assert "function calls" in report
