@@ -1,7 +1,6 @@
 """Figure 10: identifying false mispredictions with TFR history."""
 
 from conftest import run_once
-from repro.bpred import coverage_at_true_fraction
 from repro.harness import format_figure10, run_figure10
 
 

@@ -8,8 +8,8 @@ reconvergent point.
 """
 
 from repro.cfg import ReconvergenceTable
-from repro.core import CoreConfig, Processor, ReconvPolicy, simulate_core
-from repro.isa import Op, assemble
+from repro.core import CoreConfig, ReconvPolicy, simulate_core
+from repro.isa import assemble
 
 SOURCE = """
     .entry main

@@ -14,9 +14,12 @@ Public surface:
 * :mod:`repro.harness` — experiment runners for every table and figure
 * :mod:`repro.errors` — structured error taxonomy + failure diagnostics
 * :mod:`repro.robustness` — deterministic fault injection for the checkers
+* :mod:`repro.analysis` — workload lint, reconvergence cross-check, and
+  the runtime machine-invariant sanitizer (``REPRO_SANITIZE=1``)
 """
 
 from . import (
+    analysis,
     bpred,
     cfg,
     core,
@@ -34,6 +37,7 @@ from .errors import ReproError
 __version__ = "1.1.0"
 
 __all__ = [
+    "analysis",
     "bpred",
     "cfg",
     "core",

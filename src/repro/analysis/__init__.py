@@ -1,0 +1,61 @@
+"""Static analysis layer: workload lint, reconvergence cross-check, and
+the runtime machine-invariant sanitizer.
+
+* :func:`lint_program` / :func:`check_program` — dataflow-based lint of
+  assembled programs (use-before-def, dead writes, unreachable code,
+  loop-termination checks) with structured diagnostics and audited
+  suppressions.
+* :func:`reconvergence_report_row` / :func:`score_heuristic` — static
+  precision/recall of hardware reconvergence heuristics against the
+  exact post-dominator table.
+* :class:`MachineSanitizer` — cross-checks the detailed core's
+  redundant state views every N cycles (``REPRO_SANITIZE=1``).
+"""
+
+from .dataflow import (
+    EXTERNAL,
+    UNINIT,
+    dead_writes,
+    instruction_uses_of_undefined,
+    liveness,
+    reaching_definitions,
+)
+from .diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    Suppression,
+    apply_suppressions,
+)
+from .lint import check_program, lint_program
+from .reconv_check import (
+    HEURISTICS,
+    HeuristicScore,
+    heuristic_candidates,
+    reconvergence_report_row,
+    score_heuristic,
+)
+from .sanitizer import STRUCTURES, MachineSanitizer
+
+__all__ = [
+    "EXTERNAL",
+    "HEURISTICS",
+    "STRUCTURES",
+    "UNINIT",
+    "Diagnostic",
+    "HeuristicScore",
+    "LintReport",
+    "MachineSanitizer",
+    "Severity",
+    "Suppression",
+    "apply_suppressions",
+    "check_program",
+    "dead_writes",
+    "heuristic_candidates",
+    "instruction_uses_of_undefined",
+    "lint_program",
+    "liveness",
+    "reaching_definitions",
+    "reconvergence_report_row",
+    "score_heuristic",
+]

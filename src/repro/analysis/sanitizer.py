@@ -1,0 +1,249 @@
+"""Machine-invariant sanitizer for the detailed core (``REPRO_SANITIZE=1``).
+
+The detailed simulator maintains several redundant views of the same
+machine state: the ROB's doubly-linked list and its sorted order index,
+the fetch-frontier rename map and the commit-side map overlaid with the
+window's destination tags, the LSQ's store set and its unresolved
+subset.  A bug (or an injected fault) that breaks one view surfaces
+cycles later as a statistic drift or an unrelated cosimulation mismatch
+— expensive to trace back.  The sanitizer cross-checks the views every
+``sanitize_stride`` cycles and raises a structured
+:class:`~repro.errors.SanitizerError` *naming the corrupted structure*
+at (close to) the moment of corruption.
+
+Checked invariants, by ``SanitizerError.structure``:
+
+* ``rob-links`` — the linked list walks head→tail consistently
+  (``prev``/``next`` agree), every linked node is alive, orders strictly
+  increase, and the walk length matches ``rob.count``.
+* ``order-index`` — ``rob._alive_orders`` is exactly the sorted orders
+  of the linked nodes (the O(log n) position index the golden-trace
+  matching depends on).
+* ``rename-map`` — with no recovery contexts active, the frontier map
+  must equal the commit-side map overlaid with the window's destination
+  tags, register by register.
+* ``broadcast-network`` — every alive node's destination tag is owned
+  by that node (``tag.producer is node``) and no two alive nodes share
+  a tag: a violated single-writer rule silently crosses dependences.
+* ``commit-order`` — retirement only moves forward: ``retired_count``
+  never decreases, never exceeds the golden trace, and agrees with the
+  retirement statistics.
+* ``lsq`` — the LSQ tracks exactly the window's live memory
+  instructions; the unresolved-store set is a subset of the stores and
+  contains every incomplete store (the branch-completion gate scans
+  only this subset, so a dropped entry breaks memory ordering quietly).
+
+The sanitizer is attached by ``Processor.__init__`` as the *first*
+cycle hook when :meth:`repro.core.CoreConfig.sanitize_enabled` is true,
+so fault-injection hooks registered afterwards corrupt state at the end
+of cycle N and are caught by the check at the end of cycle N+1 (with
+``sanitize_stride=1``).
+"""
+
+from __future__ import annotations
+
+from ..errors import SanitizerError
+
+#: structures checked, in check order (stable for tests/docs)
+STRUCTURES = (
+    "rob-links",
+    "order-index",
+    "broadcast-network",
+    "rename-map",
+    "commit-order",
+    "lsq",
+)
+
+
+class MachineSanitizer:
+    """Per-cycle cross-check of the processor's redundant state views.
+
+    Instances are callables compatible with
+    ``Processor.add_cycle_hook``; construction is cheap and the stride
+    keeps steady-state overhead proportional to ``window / stride``.
+    """
+
+    def __init__(self, stride: int = 1):
+        if stride < 1:
+            raise ValueError(f"sanitize_stride must be >= 1, got {stride!r}")
+        self.stride = stride
+        self.checks_run = 0
+        self._last_retired = 0
+
+    def __call__(self, proc) -> None:
+        if proc.cycle % self.stride:
+            return
+        self.check(proc)
+
+    # ------------------------------------------------------------------
+
+    def check(self, proc) -> None:
+        """Run every invariant check once; raises on the first failure."""
+        self.checks_run += 1
+        linked = self._check_rob_links(proc)
+        self._check_order_index(proc, linked)
+        # Broadcast before rename-map: a shared tag corrupts both views,
+        # and the single-writer rule is the more precise localization.
+        self._check_broadcast(proc, linked)
+        self._check_rename_map(proc, linked)
+        self._check_commit_order(proc)
+        self._check_lsq(proc, linked)
+
+    def _fail(self, proc, structure: str, message: str) -> None:
+        raise SanitizerError(
+            f"cycle {proc.cycle}: {message}", structure, proc.snapshot()
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_rob_links(self, proc) -> list:
+        rob = proc.rob
+        linked: list = []
+        node = rob.head_sentinel.next
+        prev = rob.head_sentinel
+        limit = rob.count + 2  # a cycle in the list must not hang us
+        while node is not rob.tail_sentinel:
+            if len(linked) >= limit:
+                self._fail(
+                    proc, "rob-links",
+                    f"linked list walk exceeds count={rob.count}: "
+                    "cycle or stale link in the window",
+                )
+            if node.prev is not prev:
+                self._fail(
+                    proc, "rob-links",
+                    f"node {node!r}.prev does not point at its predecessor",
+                )
+            if not node.alive:
+                state = "retired" if node.retired else "squashed"
+                self._fail(
+                    proc, "rob-links",
+                    f"{state} node {node!r} is still linked in the window",
+                )
+            if node.order <= prev.order:
+                self._fail(
+                    proc, "rob-links",
+                    f"order keys not strictly increasing at {node!r}: "
+                    f"{prev.order} -> {node.order}",
+                )
+            linked.append(node)
+            prev = node
+            node = node.next
+        if node.prev is not prev:
+            self._fail(
+                proc, "rob-links", "tail sentinel's prev does not close the list"
+            )
+        if len(linked) != rob.count:
+            self._fail(
+                proc, "rob-links",
+                f"linked list holds {len(linked)} nodes but count={rob.count}",
+            )
+        return linked
+
+    def _check_order_index(self, proc, linked: list) -> None:
+        expected = [n.order for n in linked]
+        actual = proc.rob._alive_orders
+        if list(actual) != expected:
+            self._fail(
+                proc, "order-index",
+                f"_alive_orders diverged from the window: index has "
+                f"{len(actual)} entries, walk has {len(expected)}"
+                + (
+                    ""
+                    if len(actual) != len(expected)
+                    else "; same length but different keys"
+                ),
+            )
+
+    def _check_rename_map(self, proc, linked: list) -> None:
+        if proc.contexts:
+            return  # recovery in flight: the frontier map is transient
+        overlay = list(proc.retired_map)
+        for node in linked:
+            if node.dest_arch is not None:
+                overlay[node.dest_arch] = node.dest_tag
+        frontier = proc.frontier.rmap
+        for arch, expected in enumerate(overlay):
+            if frontier[arch] is not expected:
+                self._fail(
+                    proc, "rename-map",
+                    f"frontier map for r{arch} does not match the "
+                    "commit-side map overlaid with the window's "
+                    "destination tags",
+                )
+
+    def _check_broadcast(self, proc, linked: list) -> None:
+        owners: dict[int, object] = {}
+        for node in linked:
+            tag = node.dest_tag
+            if tag is None:
+                continue
+            other = owners.get(id(tag))
+            if other is not None:
+                self._fail(
+                    proc, "broadcast-network",
+                    f"alive nodes {other!r} and {node!r} share one "
+                    "destination tag (single-writer rule violated)",
+                )
+            owners[id(tag)] = node
+            if tag.producer is not node:
+                self._fail(
+                    proc, "broadcast-network",
+                    f"destination tag of {node!r} is owned by "
+                    f"{tag.producer!r}",
+                )
+
+    def _check_commit_order(self, proc) -> None:
+        retired = proc.retired_count
+        if retired < self._last_retired:
+            self._fail(
+                proc, "commit-order",
+                f"retired_count moved backwards: "
+                f"{self._last_retired} -> {retired}",
+            )
+        if retired > len(proc.golden):
+            self._fail(
+                proc, "commit-order",
+                f"retired_count {retired} exceeds the golden trace "
+                f"({len(proc.golden)} entries)",
+            )
+        if proc.stats.retired != retired:
+            self._fail(
+                proc, "commit-order",
+                f"stats.retired ({proc.stats.retired}) disagrees with "
+                f"retired_count ({retired})",
+            )
+        self._last_retired = retired
+
+    def _check_lsq(self, proc, linked: list) -> None:
+        lsq = proc.lsq
+        window_uids = {n.uid for n in linked}
+        for kind, table in (("store", lsq._stores), ("load", lsq._loads)):
+            for uid, node in table.items():
+                if uid != node.uid:
+                    self._fail(
+                        proc, "lsq",
+                        f"{kind} table key {uid} does not match node uid "
+                        f"{node.uid}",
+                    )
+                if uid not in window_uids:
+                    self._fail(
+                        proc, "lsq",
+                        f"{kind} {node!r} is tracked by the LSQ but no "
+                        "longer linked in the window",
+                    )
+        for uid, node in lsq._unresolved_stores.items():
+            if uid not in lsq._stores:
+                self._fail(
+                    proc, "lsq",
+                    f"unresolved store {node!r} is not in the store table "
+                    "(unresolved set must be a subset)",
+                )
+        for uid, node in lsq._stores.items():
+            if not node.completed and uid not in lsq._unresolved_stores:
+                self._fail(
+                    proc, "lsq",
+                    f"incomplete store {node!r} is missing from the "
+                    "unresolved-store subset (memory ordering gate "
+                    "would ignore it)",
+                )

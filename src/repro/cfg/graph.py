@@ -104,3 +104,30 @@ class ControlFlowGraph:
     def exit_blocks(self) -> list[int]:
         """Blocks with no successors (returns, halts, indirect jumps)."""
         return [b.index for b in self.blocks if not b.successors]
+
+    def analysis_roots(self) -> list[int]:
+        """Entry points for whole-program analyses: the program entry
+        block plus every direct call target.
+
+        Calls are modeled as fall-through edges (see module docstring),
+        so callee bodies have no CFG predecessors; any reachability or
+        dataflow analysis must treat them as additional roots or every
+        function body would look unreachable.
+        """
+        roots = {self.block_at(self.program.entry).index}
+        for instr in self.program.instructions:
+            if instr.f_call:
+                roots.add(self.block_at(instr.target).index)
+        return sorted(roots)
+
+    def reachable_blocks(self) -> set[int]:
+        """Block indices reachable from any analysis root."""
+        seen: set[int] = set()
+        stack = self.analysis_roots()
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].successors)
+        return seen

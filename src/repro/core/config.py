@@ -16,6 +16,7 @@ Every appendix ablation is a knob here:
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
@@ -122,6 +123,20 @@ class CoreConfig:
     #: to CosimulationError instead of silently healing (used by the
     #: fault-injection suite to expose corrupted reconvergence state)
     strict_commit: bool = False
+    #: machine-invariant sanitizer (repro.analysis.MachineSanitizer):
+    #: True/False force it on/off; None defers to the REPRO_SANITIZE
+    #: environment variable ("1"/"true"/"yes"/"on", case-insensitive)
+    sanitize: bool | None = None
+    #: cycles between sanitizer checks; 1 checks every cycle (used by
+    #: the fault-injection tests to localize corruption immediately)
+    sanitize_stride: int = 64
+
+    def sanitize_enabled(self) -> bool:
+        """Resolve the sanitizer knob against ``REPRO_SANITIZE``."""
+        if self.sanitize is not None:
+            return self.sanitize
+        value = os.environ.get("REPRO_SANITIZE", "")
+        return value.strip().lower() in ("1", "true", "yes", "on")
 
     def validate(self) -> "CoreConfig":
         """Reject inconsistent knob combinations before simulation.
@@ -216,6 +231,11 @@ class CoreConfig:
             isinstance(self.watchdog_cycles, int) and self.watchdog_cycles >= 1,
             f"watchdog_cycles must be a positive integer, "
             f"got {self.watchdog_cycles!r}",
+        )
+        require(
+            isinstance(self.sanitize_stride, int) and self.sanitize_stride >= 1,
+            f"sanitize_stride must be a positive integer, "
+            f"got {self.sanitize_stride!r}",
         )
         require(
             not self.strict_commit

@@ -35,7 +35,7 @@ from ..errors import CosimulationError, MachineSnapshot, SimulationHang
 from ..isa import NUM_REGS, Op, Program, evaluate
 from ..memsys import PerfectCache, SetAssociativeCache
 from ..ideal.models import latency_table
-from .config import CompletionModel, CoreConfig, Preemption, ReconvPolicy, RepredictMode
+from .config import CoreConfig, Preemption, ReconvPolicy, RepredictMode
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .regfile import PhysReg
@@ -176,6 +176,15 @@ class Processor:
         #: robustness hooks invoked once per cycle with the processor;
         #: used by the fault-injection layer to corrupt state mid-run
         self._cycle_hooks: list = []
+        if cfg.sanitize_enabled():
+            # Local import: repro.analysis is a consumer of repro.core
+            # everywhere else; only the opt-in sanitizer flows back in.
+            from ..analysis import MachineSanitizer
+
+            # First hook on purpose: fault injectors register afterwards,
+            # so a corruption landing at the end of cycle N is reported
+            # at the end of cycle N+1 (with sanitize_stride=1).
+            self.add_cycle_hook(MachineSanitizer(stride=cfg.sanitize_stride))
 
     # ==================================================================
     # helpers

@@ -9,7 +9,7 @@ re-prediction behaviour).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -19,6 +19,10 @@ failure classes:
   — failures of the fault-isolated experiment runner itself.
 * :class:`TransientError` — marker for failures worth retrying
   (the runner retries these with backoff; everything else degrades).
+* :class:`AnalysisError` / :class:`LintFailure` — the static-analysis
+  layer (``repro.analysis``) rejected a workload program.
+* :class:`SanitizerError` — a machine-invariant check found a corrupted
+  internal structure mid-simulation (``REPRO_SANITIZE=1``).
 
 Simulator failures carry a :class:`MachineSnapshot` of the machine state
 at the moment of death, rendered into the exception message, so a failed
@@ -73,6 +77,23 @@ class CacheError(HarnessError):
 
 class TransientError(ReproError):
     """A failure expected to succeed on retry (runner retries these)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for static-analysis (``repro.analysis``) failures."""
+
+
+class LintFailure(AnalysisError, ValueError):
+    """A linted program carries unsuppressed error-severity diagnostics.
+
+    Raised by :func:`repro.analysis.check_program`; ``diagnostics``
+    holds the offending :class:`repro.analysis.Diagnostic` records so
+    callers can render or filter them without re-running the lint.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -156,7 +177,26 @@ class CosimulationError(DiagnosedError):
     """Retired state diverged from the architectural golden trace."""
 
 
+class SanitizerError(DiagnosedError):
+    """A machine-invariant check failed: an internal simulator structure
+    (ROB links, order index, rename map, broadcast network, LSQ) is
+    corrupt.  ``structure`` names the faulted structure so a failure is
+    localized to the subsystem that broke, instead of surfacing cycles
+    later as a statistic drift or an unrelated cosimulation mismatch.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        structure: str,
+        snapshot: MachineSnapshot | None = None,
+    ):
+        self.structure = structure
+        super().__init__(f"sanitizer[{structure}]: {message}", snapshot)
+
+
 __all__ = [
+    "AnalysisError",
     "CacheError",
     "CellTimeout",
     "CheckpointError",
@@ -165,8 +205,10 @@ __all__ = [
     "DiagnosedError",
     "ExecutionLimitExceeded",
     "HarnessError",
+    "LintFailure",
     "MachineSnapshot",
     "ReproError",
+    "SanitizerError",
     "SimulationHang",
     "TransientError",
     "WorkloadError",

@@ -98,6 +98,35 @@ def format_table4(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def format_reconv_report(rows: list[dict]) -> str:
+    """Heuristic-vs-exact reconvergence report (repro.analysis).
+
+    ``rows`` come from :func:`repro.analysis.reconvergence_report_row`:
+    one per workload, scoring each hardware heuristic's candidate sets
+    against the exact post-dominator table (static upper bound).
+    """
+    lines = [
+        "RECONVERGENCE. Hardware heuristics vs exact post-dominators "
+        "(static precision/recall).",
+    ]
+    for row in rows:
+        lines.append(
+            f"-- {row['benchmark']}: {row['branches']} static branches, "
+            f"exact coverage {row['exact_coverage'] * 100:.0f}%"
+        )
+        lines.append(
+            f"   {'heuristic':10s} {'recall':>7s} {'precision':>10s} "
+            f"{'hits':>5s} {'miss':>5s} {'cand':>5s}"
+        )
+        for name, score in row["heuristics"].items():
+            lines.append(
+                f"   {name:10s} {score.recall * 100:6.1f}% "
+                f"{score.precision * 100:9.1f}% {score.hits:5d} "
+                f"{score.misses:5d} {score.candidates:5d}"
+            )
+    return "\n".join(lines)
+
+
 def format_simple_map(title: str, data: dict, percent: bool = False) -> str:
     """Generic formatter for {workload: {config: value}} results."""
     lines = [title]

@@ -26,7 +26,7 @@ independent work for them.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .models import IdealConfig, IdealModel, latency_table
 from .tracegen import NO_PRODUCER, AnnotatedTrace, Misprediction, decode_internal

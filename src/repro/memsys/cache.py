@@ -9,7 +9,7 @@ memory image / store queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 WORD_BYTES = 8
 

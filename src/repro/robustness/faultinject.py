@@ -19,6 +19,22 @@ machine state mid-run through the processor's per-cycle hook:
   wakeups, so it retires a stale value (detected by the value check) or
   never completes (detected by the forward-progress watchdog).
 
+A second family corrupts the *structural* state views cross-checked by
+the machine-invariant sanitizer (``REPRO_SANITIZE=1`` /
+:class:`repro.analysis.MachineSanitizer`); each is built to be caught by
+one named invariant, so the sanitizer's localization can be asserted:
+
+* :class:`ROBOrderFault` — swaps the order keys of two adjacent window
+  nodes (``sanitizer[rob-links]``).
+* :class:`OrderIndexFault` — perturbs one ``_alive_orders`` entry so
+  the O(log n) position index lies (``sanitizer[order-index]``).
+* :class:`RenameMapFault` — repoints a frontier rename-map entry at a
+  stale physical register (``sanitizer[rename-map]``).
+* :class:`TagAliasFault` — makes two in-flight instructions share one
+  destination tag (``sanitizer[broadcast-network]``).
+* :class:`LSQDropFault` — drops an unissued store from the LSQ's
+  unresolved-store subset (``sanitizer[lsq]``).
+
 All randomness comes from a seeded :class:`random.Random`, so every
 injection — trigger point, victim, corruption mask — is reproducible
 from ``(seed, trigger)`` alone.
@@ -253,6 +269,144 @@ class DroppedWakeupFault(FaultInjector):
         return self.fired  # the real work happens in the _wake wrapper
 
 
+class ROBOrderFault(FaultInjector):
+    """Swap the order keys of two adjacent alive window nodes.
+
+    The doubly-linked list then disagrees with the logical order the
+    keys encode — age comparisons, LSQ ordering and the position index
+    all consult those keys.  Victims are taken from the window *tail* so
+    neither retires before the next sanitizer check.  Caught by
+    ``sanitizer[rob-links]`` (order keys not strictly increasing).
+    """
+
+    kind = "rob-order"
+
+    def _inject(self, proc: Processor) -> bool:
+        younger = proc.rob.tail
+        if younger is None:
+            return False
+        older = younger.prev
+        if older is proc.rob.head_sentinel:
+            return False
+        older.order, younger.order = younger.order, older.order
+        self.description = (
+            f"swapped order keys of pcs {older.pc}/{younger.pc} "
+            f"(uids {older.uid}/{younger.uid}) at cycle {proc.cycle}"
+        )
+        return True
+
+
+class OrderIndexFault(FaultInjector):
+    """Perturb one entry of the ROB's sorted ``_alive_orders`` index.
+
+    The linked list stays intact but the O(log n) position index behind
+    ``index_of`` (golden-trace instance matching) no longer mirrors it.
+    Caught by ``sanitizer[order-index]``.
+    """
+
+    kind = "order-index"
+
+    def _inject(self, proc: Processor) -> bool:
+        orders = proc.rob._alive_orders
+        if len(orders) < 2:
+            return False
+        victim = self.rng.randrange(len(orders) - 1)
+        # Stay sorted (so bisect keeps "working") but wrong: move the
+        # entry off its node's actual key without crossing a neighbour.
+        if orders[victim + 1] - orders[victim] < 2:
+            return False
+        orders[victim] += 1
+        self.description = (
+            f"bumped _alive_orders[{victim}] to {orders[victim]} "
+            f"at cycle {proc.cycle}"
+        )
+        return True
+
+
+class RenameMapFault(FaultInjector):
+    """Repoint a frontier rename-map entry at a stale physical register.
+
+    Models a dropped map update: later consumers of the register would
+    silently read the wrong producer.  Injected only in a quiet state
+    (no active recovery contexts), where the frontier map is fully
+    determined by the commit-side map and the window's destination tags.
+    Caught by ``sanitizer[rename-map]``.
+    """
+
+    kind = "rename-map"
+
+    def _inject(self, proc: Processor) -> bool:
+        if proc.contexts:
+            return False
+        from ..core.regfile import PhysReg
+
+        arch = self.rng.randrange(1, len(proc.frontier.rmap))
+        stale = PhysReg()
+        stale.ready = True
+        proc.frontier.rmap[arch] = stale
+        self.description = (
+            f"repointed frontier rename map of r{arch} at a stale tag "
+            f"at cycle {proc.cycle}"
+        )
+        return True
+
+
+class TagAliasFault(FaultInjector):
+    """Make two in-flight instructions share one destination tag.
+
+    Violates the single-writer rule of the broadcast network: whichever
+    aliased producer completes last wins the register, silently crossing
+    dependence chains.  Victims are the two youngest tag-writing nodes
+    (far from retirement).  Caught by ``sanitizer[broadcast-network]``.
+    """
+
+    kind = "tag-alias"
+
+    def _inject(self, proc: Processor) -> bool:
+        victims = []
+        node = proc.rob.tail
+        while node is not None and node is not proc.rob.head_sentinel:
+            if node.dest_tag is not None:
+                victims.append(node)
+                if len(victims) == 2:
+                    break
+            node = node.prev
+        if len(victims) < 2:
+            return False
+        younger, older = victims
+        younger.dest_tag = older.dest_tag
+        self.description = (
+            f"aliased dest tag of pc {younger.pc} (uid {younger.uid}) "
+            f"onto pc {older.pc} (uid {older.uid}) at cycle {proc.cycle}"
+        )
+        return True
+
+
+class LSQDropFault(FaultInjector):
+    """Drop an unissued store from the LSQ's unresolved-store subset.
+
+    The branch-completion gate and load-ahead logic scan only that
+    subset, so the machine believes the store's address is resolved and
+    lets younger loads and branches proceed against it.  The victim has
+    not issued, so it cannot complete (and legitimately leave the
+    subset) before the next sanitizer check.  Caught by
+    ``sanitizer[lsq]``.
+    """
+
+    kind = "lsq-drop"
+
+    def _inject(self, proc: Processor) -> bool:
+        for uid, node in proc.lsq._unresolved_stores.items():
+            if not node.completed and not node.inflight and node.issue_count == 0:
+                del proc.lsq._unresolved_stores[uid]
+                self.description = (
+                    f"dropped store pc {node.pc} (uid {uid}) from the "
+                    f"unresolved subset at cycle {proc.cycle}"
+                )
+                return True
+        return False
+
+
 def run_with_fault(
     program: Program,
     config: CoreConfig,
@@ -275,8 +429,13 @@ def run_with_fault(
 __all__ = [
     "DroppedWakeupFault",
     "FaultInjector",
+    "LSQDropFault",
+    "OrderIndexFault",
     "PredictorStateFault",
+    "ROBOrderFault",
     "ReconvTableFault",
     "RegisterValueFault",
+    "RenameMapFault",
+    "TagAliasFault",
     "run_with_fault",
 ]

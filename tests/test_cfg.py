@@ -185,3 +185,77 @@ class TestReconvergence:
         fall_block = cfg.block_at(branch_pc + 1).index
         assert target_block in reachable(taken_block)
         assert target_block in reachable(fall_block)
+
+
+class TestReconvergenceEdgeCases:
+    def test_branch_whose_only_post_dominator_is_exit(self):
+        # Both arms halt independently: the branch's only post-dominator
+        # is the virtual exit node, so no reconvergent point exists and
+        # the machine must fall back to a complete squash.
+        program = assemble(
+            """
+            beq r1, r0, other
+            halt
+        other:
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        assert table.reconvergent_pc(0) is None
+        assert table.coverage() == 0.0
+
+    def test_nested_branches_share_reconvergent_point(self):
+        # outer selects between the inner diamond and a third arm; every
+        # path funnels through `join`, so both branches reconverge there.
+        program = assemble(
+            """
+            beq r1, r0, third
+            beq r2, r0, inner_else
+            addi r3, r0, 1
+            jump join
+        inner_else:
+            addi r3, r0, 2
+            jump join
+        third:
+            addi r3, r0, 3
+        join:
+            store r3, r0, 0
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        join = program.labels["join"]
+        outer_pc, inner_pc = 0, 1
+        assert table.reconvergent_pc(outer_pc) == join
+        assert table.reconvergent_pc(inner_pc) == join
+
+    def test_single_block_loop(self):
+        # The loop body is one basic block ending in its own back-edge;
+        # the branch's ipdom is the loop-exit fall-through.
+        program = assemble(
+            """
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        bne_pc = 1
+        assert table.reconvergent_pc(bne_pc) == bne_pc + 1
+        cfg = ControlFlowGraph(program)
+        block = cfg.block_at(0)
+        assert block.index in block.successors  # genuine self-edge
+
+    def test_single_instruction_self_loop(self):
+        program = assemble(
+            """
+            load r1, r0, 0
+        spin:
+            bne r1, r0, spin
+            halt
+            """
+        )
+        table = ReconvergenceTable(program)
+        spin = program.labels["spin"]
+        assert table.reconvergent_pc(spin) == spin + 1

@@ -11,7 +11,6 @@ from repro.core import (
     CompletionModel,
     CoreConfig,
     Preemption,
-    Processor,
     ReconvPolicy,
     RepredictMode,
     simulate_core,
