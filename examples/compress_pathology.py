@@ -11,42 +11,36 @@ This example measures reissue behaviour and branch-completion models on
 compress, reproducing the paper's observations around Table 4/Figure 9.
 """
 
-from repro.cfg import ReconvergenceTable
-from repro.core import (
-    CompletionModel,
-    CoreConfig,
-    GoldenTrace,
-    Processor,
-    ReconvPolicy,
-)
-from repro.workloads import build_workload
+from repro.core import CompletionModel
+from repro.harness import load_bundle
+from repro.machines import get_machine
 
 
 def main() -> None:
-    program = build_workload("compress", 0.15).program
-    golden = GoldenTrace(program)
-    table = ReconvergenceTable(program)
+    # The BASE / CI machines resolve through the registry; the bundle's
+    # golden trace and reconvergence table come from the artifact cache.
+    bundle = load_bundle("compress", 0.15)
 
     print("issues per retired instruction (paper Table 4):")
-    for label, policy in (("no CI", ReconvPolicy.NONE), ("CI", ReconvPolicy.POSTDOM)):
-        cfg = CoreConfig(window_size=256, reconv_policy=policy)
-        stats = Processor(program, cfg, golden, table).run()
+    for label, machine in (("no CI", "BASE"), ("CI", "CI")):
+        stats = get_machine(machine).simulate(
+            bundle, overrides={"window_size": 256}
+        )
         print(f"  {label:6s} total={stats.issues_per_retired:.2f} "
               f"memory-violation reissues={stats.reissues_memory} "
               f"register repairs={stats.reissues_register}")
 
     print("\nbranch completion models (paper Figure 9):")
+    ci = get_machine("CI")
     for model in CompletionModel:
         for hfm in (False, True):
             if model is CompletionModel.NON_SPEC and hfm:
                 continue  # non-spec never false-mispredicts
-            cfg = CoreConfig(
-                window_size=256,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                completion_model=model,
-                hide_false_mispredictions=hfm,
-            )
-            stats = Processor(program, cfg, golden, table).run()
+            stats = ci.simulate(bundle, overrides={
+                "window_size": 256,
+                "completion_model": model,
+                "hide_false_mispredictions": hfm,
+            })
             label = model.value + ("-HFM" if hfm else "")
             print(f"  {label:12s} IPC={stats.ipc:5.2f} "
                   f"false mispredictions={stats.false_mispredictions}")

@@ -11,8 +11,9 @@ Usage:  python heuristics_study.py [scale]
 
 import sys
 
-from repro.core import CoreConfig, Processor, ReconvPolicy
+from repro.core import ReconvPolicy
 from repro.harness import load_bundle
+from repro.machines import get_machine, heuristic_machine
 from repro.workloads import WORKLOAD_NAMES
 
 POLICIES = (
@@ -23,23 +24,21 @@ POLICIES = (
     ReconvPolicy.POSTDOM,
 )
 
+WINDOW = {"window_size": 256}
+
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
     print(f"{'workload':10s}" + "".join(f"{p.value:>17s}" for p in POLICIES))
     for name in WORKLOAD_NAMES:
         # load_bundle serves the assembled program, golden trace and
-        # reconvergence table from the content-addressed artifact cache.
+        # reconvergence table from the content-addressed artifact cache;
+        # the machines come from the repro.machines registry.
         bundle = load_bundle(name, scale)
-        base = Processor(
-            bundle.program,
-            CoreConfig(window_size=256, reconv_policy=ReconvPolicy.NONE),
-            bundle.golden, bundle.reconv,
-        ).run().ipc
+        base = get_machine("BASE").simulate(bundle, overrides=WINDOW).ipc
         cells = []
         for policy in POLICIES:
-            cfg = CoreConfig(window_size=256, reconv_policy=policy)
-            ipc = Processor(bundle.program, cfg, bundle.golden, bundle.reconv).run().ipc
+            ipc = heuristic_machine(policy).simulate(bundle, overrides=WINDOW).ipc
             pct = 100 * (ipc / base - 1) if base else 0.0
             cells.append(f"{pct:+15.1f}% ")
         print(f"{name:10s}" + "".join(cells))

@@ -12,7 +12,8 @@ Usage:  python ideal_study.py [workload] [scale]
 import sys
 
 from repro.harness import load_bundle
-from repro.ideal import IdealConfig, IdealModel, simulate
+from repro.ideal import IdealModel
+from repro.machines import ideal_machine
 from repro.workloads import WORKLOAD_NAMES
 
 
@@ -33,8 +34,11 @@ def main() -> None:
     windows = (64, 128, 256, 512)
     print(f"{'model':10s}" + "".join(f"{w:>9d}" for w in windows))
     for model in IdealModel:
+        # Each model resolves through the machine registry; the memoized
+        # annotated trace above is reused by every simulate() call.
+        machine = ideal_machine(model)
         ipcs = [
-            simulate(trace, model, IdealConfig(window_size=w)).ipc
+            machine.simulate(bundle, overrides={"window_size": w}).ipc
             for w in windows
         ]
         print(f"{model.value:10s}" + "".join(f"{ipc:9.2f}" for ipc in ipcs))

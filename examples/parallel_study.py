@@ -10,10 +10,15 @@ Usage:
     python parallel_study.py --jobs 4
     python parallel_study.py --jobs auto --experiments figure3 figure5 --scale 0.12
     python parallel_study.py --jobs 4 --skip-serial --checkpoint study.json
+    python parallel_study.py --list
+    python parallel_study.py --only figure5:vortex --only figure10 --skip-serial
 
 ``--jobs`` defaults to the REPRO_JOBS environment variable (else 1);
 ``--cache-dir`` persists the content-addressed golden-trace cache
 across runs (otherwise a per-study temporary directory is used).
+``--list`` enumerates every registered spec with its cells and exits;
+``--only EXPERIMENT[:WORKLOAD]`` (repeatable) restricts the grid to a
+subset of study cells, so partial reruns don't need code edits.
 """
 
 import argparse
@@ -23,9 +28,25 @@ import time
 from pathlib import Path
 
 from repro.harness import run_study
-from repro.harness.experiments import EXPERIMENTS, validate_experiments
+from repro.harness.experiments import EXPERIMENTS, parse_only, validate_experiments
 from repro.harness.parallel import resolve_jobs, run_study_parallel
+from repro.harness.spec import get_spec, spec_names
 from repro.workloads import WORKLOAD_NAMES
+
+
+def list_specs() -> None:
+    """Print every registered artifact with its cells and workloads."""
+    for name in spec_names():
+        spec = get_spec(name)
+        print(f"{name:10s} {spec.artifact:9s} scale={spec.default_scale:<5g} "
+              f"{spec.title}")
+        if spec.derives is not None:
+            print(f"{'':10s} derived from {spec.derives!r} "
+                  f"via transform {spec.transform!r}")
+        else:
+            labels = ", ".join(spec.cell_labels())
+            print(f"{'':10s} cells: {labels}")
+        print(f"{'':10s} workloads: {', '.join(spec.workloads)}")
 
 
 def main(argv=None) -> int:
@@ -56,14 +77,34 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--report", type=Path, default=Path("BENCH_parallel.json"),
                         help="where to write the benchmark report")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="enumerate registered specs/cells and exit",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="EXPERIMENT[:WORKLOAD]",
+        help="restrict the grid to matching study cells (repeatable)",
+    )
     args = parser.parse_args(argv)
 
-    chosen = validate_experiments(args.experiments)
+    if args.list:
+        list_specs()
+        return 0
+
+    if args.only:
+        # Selectors define the experiment set; --experiments is ignored
+        # so `--only figure10:go` alone reruns exactly one cell.
+        chosen = validate_experiments(
+            list(dict.fromkeys(exp for exp, _ in parse_only(args.only)))
+        )
+    else:
+        chosen = validate_experiments(args.experiments)
     jobs = resolve_jobs(args.jobs)
     names = tuple(args.names)
     grid = len(chosen) * len(names)
+    shown = f"= {grid} cells" if not args.only else f"-> only {args.only}"
     print(f"grid: {len(chosen)} experiments x {len(names)} workloads "
-          f"= {grid} cells, scale {args.scale}, jobs {jobs}")
+          f"{shown}, scale {args.scale}, jobs {jobs}")
 
     report = {
         "experiments": chosen,
@@ -78,7 +119,8 @@ def main(argv=None) -> int:
         print("serial baseline ...", flush=True)
         t0 = time.perf_counter()
         serial_out = run_study(
-            experiments=chosen, scale=args.scale, names=names, jobs=1
+            experiments=chosen, scale=args.scale, names=names, jobs=1,
+            only=args.only,
         )
         report["serial_seconds"] = round(time.perf_counter() - t0, 3)
         print(f"  {report['serial_seconds']}s, "
@@ -89,6 +131,7 @@ def main(argv=None) -> int:
     parallel_out = run_study_parallel(
         experiments=chosen, scale=args.scale, names=names, jobs=jobs,
         checkpoint_path=args.checkpoint, cache_dir=args.cache_dir,
+        only=args.only,
     )
     report["parallel_seconds"] = round(time.perf_counter() - t0, 3)
     report["resumed_cells"] = parallel_out["resumed"]

@@ -8,8 +8,9 @@ reconvergent point.
 """
 
 from repro.cfg import ReconvergenceTable
-from repro.core import CoreConfig, ReconvPolicy, simulate_core
+from repro.core import simulate_core
 from repro.isa import assemble
+from repro.machines import get_machine
 
 SOURCE = """
     .entry main
@@ -46,12 +47,10 @@ def main() -> None:
             print(f"branch at pc {pc} ({instr.op.name}) reconverges at pc "
                   f"{table.reconvergent_pc(pc)}")
 
-    base = simulate_core(
-        program, CoreConfig(window_size=128, reconv_policy=ReconvPolicy.NONE)
-    )
-    ci = simulate_core(
-        program, CoreConfig(window_size=128, reconv_policy=ReconvPolicy.POSTDOM)
-    )
+    # The BASE / CI configurations come from the machine registry; the
+    # only local knob is the window size.
+    base = simulate_core(program, get_machine("BASE").core_config(window_size=128))
+    ci = simulate_core(program, get_machine("CI").core_config(window_size=128))
 
     print(f"\nBASE machine: IPC = {base.ipc:.2f}  "
           f"({base.recoveries} recoveries, all complete squashes)")

@@ -23,63 +23,44 @@ Execution is value-based: wrong paths compute real (wrong) values, so
 false mispredictions (Appendix A.2) arise naturally.  Retirement
 co-simulates against the golden architectural trace — any divergence is
 a simulator bug, not a statistic.
+
+This module is the *facade*: it owns the machine state, the cycle loop
+and the diagnostics surface, while the pipeline itself lives in the
+stage mixins of :mod:`repro.core.stages` (sequencer, backend, recovery,
+retire).  ``Processor``'s public API — construction, ``run``,
+``add_cycle_hook``, ``snapshot`` — is unchanged by the split, and so is
+every statistic.
 """
 
 from __future__ import annotations
 
-import heapq
-
 from ..bpred import FrontEnd
 from ..cfg import ReconvergenceTable
-from ..errors import CosimulationError, MachineSnapshot, SimulationHang
-from ..isa import NUM_REGS, Op, Program, evaluate
+from ..errors import MachineSnapshot, SimulationHang
+from ..isa import NUM_REGS, Program
 from ..memsys import PerfectCache, SetAssociativeCache
 from ..ideal.models import latency_table
-from .config import CoreConfig, Preemption, ReconvPolicy, RepredictMode
+from .config import CoreConfig, ReconvPolicy
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .regfile import PhysReg
-from .rob import DynInstr, ReorderBuffer, Segment
+from .rob import DynInstr, ReorderBuffer
 from .stats import CoreStats
+from .stages import (
+    BackendStage,
+    RecoveryStage,
+    RetireStage,
+    SequencerStage,
+    _Context,
+)
 
 
-class _Context:
-    """A fetch context: the frontier, or one restart/redispatch sequence."""
+class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
+    """One configured machine, runnable over one program.
 
-    __slots__ = (
-        "branch",
-        "reconv",
-        "insert_point",
-        "fetch_pc",
-        "ghr",
-        "rmap",
-        "segment",
-        "stalled",
-        "phase",  # "frontier" | "restart" | "redispatch"
-        "walk_cursor",
-        "walk_ras",
-        "start_cycle",
-        "inserted",
-    )
-
-    def __init__(self, fetch_pc: int, ghr: int, rmap: list):
-        self.branch: DynInstr | None = None
-        self.reconv: DynInstr | None = None
-        self.insert_point: DynInstr | None = None
-        self.fetch_pc = fetch_pc
-        self.ghr = ghr
-        self.rmap = rmap
-        self.segment: Segment | None = None
-        self.stalled = False
-        self.phase = "frontier"
-        self.walk_cursor: DynInstr | None = None
-        self.walk_ras: list[int] | None = None
-        self.start_cycle = 0
-        self.inserted = 0
-
-
-class Processor:
-    """One configured machine, runnable over one program."""
+    The pipeline stages are mixins over this facade's shared state; see
+    :mod:`repro.core.stages` for the per-stage module map.
+    """
 
     def __init__(
         self,
@@ -246,954 +227,7 @@ class Processor:
         return None
 
     # ==================================================================
-    # dispatch
-
-    def _dispatch(self, ctx: _Context, pc: int) -> DynInstr | None:
-        """Fetch + rename one instruction into ``ctx``; returns the node,
-        or None when fetch must stall (HALT reached / out of range)."""
-        instr = self.program.fetch(pc)
-        if instr is None:
-            ctx.stalled = True
-            return None
-        node = DynInstr(self.uid_counter, pc, instr)
-        self.uid_counter += 1
-        node.dispatch_cycle = self.cycle
-
-        if ctx.phase == "frontier":
-            ctx.segment = self.rob.append(node, ctx.segment)
-        else:
-            ctx.segment = self.rob.insert_after(ctx.insert_point, node, ctx.segment)
-            ctx.insert_point = node
-            ctx.inserted += 1
-        self.stats.fetched += 1
-        self._map_epoch += 1
-
-        rmap = ctx.rmap
-        if instr.reads_rs1:
-            node.src1_tag = rmap[instr.rs1]
-            node.src1_tag.consumers.append(node)
-        if instr.reads_rs2:
-            node.src2_tag = rmap[instr.rs2]
-            node.src2_tag.consumers.append(node)
-        dest = instr.dest_reg
-        if dest is not None:
-            node.dest_arch = dest
-            node.prev_tag = rmap[dest]
-            tag = PhysReg(node)
-            rmap[dest] = tag
-            node.dest_tag = tag
-
-        self.lsq.add(node)
-
-        if instr.f_control:
-            self._predict_control(ctx, node)
-            ctx.fetch_pc = node.current_next_pc
-        else:
-            ctx.fetch_pc = pc + 1
-            if instr.op is Op.HALT:
-                ctx.stalled = True
-
-        if instr.f_branch or instr.f_indirect:
-            self._incomplete_branches[node.uid] = node
-            if self._oldest_gate_valid:
-                oldest = self._oldest_gate
-                if oldest is None or node.order < oldest.order:
-                    self._oldest_gate = node
-
-        # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch stage).
-        if self._operands_ready(node):
-            self._push_ready(node, self.cycle + 2)
-        return node
-
-    def _predict_control(self, ctx: _Context, node: DynInstr) -> None:
-        cfg = self.config
-        node.ras_snapshot = self.frontend.ras.snapshot()
-        history = ctx.ghr
-        if cfg.oracle_global_history and node.instr.f_branch:
-            entry_index = self._golden_index(node)
-            if 0 <= entry_index < len(self.golden.history_before):
-                history = self.golden.history_before[entry_index]
-        node.history_used = history
-        prediction = self.frontend.predict(node.instr, node.pc, history)
-        node.predicted_taken = prediction.taken
-        node.predicted_next_pc = prediction.next_pc
-        node.current_taken = prediction.taken
-        node.current_next_pc = prediction.next_pc
-        if node.instr.f_branch:
-            ctx.ghr = self.frontend.push_history(ctx.ghr, prediction.taken)
-            if node.instr.target <= node.pc:
-                # Backward branch: remember loop top / loop exit targets.
-                self._loop_targets.add(prediction.next_pc)
-        elif node.instr.f_return:
-            self._return_targets.add(prediction.next_pc)
-
-    def _operands_ready(self, node: DynInstr) -> bool:
-        t1, t2 = node.src1_tag, node.src2_tag
-        return (t1 is None or t1.ready) and (t2 is None or t2.ready)
-
-    def _push_ready(self, node: DynInstr, eligible: int) -> None:
-        if node.in_ready:
-            return
-        node.in_ready = True
-        heapq.heappush(self._ready, (eligible, node.order, node.uid, node))
-
-    def _wake(self, node: DynInstr, eligible: int) -> None:
-        """A source tag broadcast a new value (or rename repair): reissue."""
-        if not node.alive:
-            return
-        if node.issue_count == 0 and not self._operands_ready(node):
-            return
-        self._push_ready(node, max(eligible, node.dispatch_cycle + 2))
-
-    # ==================================================================
-    # issue & execute
-
-    def _issue_phase(self) -> None:
-        budget = self.config.width
-        issued = 0
-        ready = self._ready
-        pop = heapq.heappop
-        while ready and budget > 0:
-            eligible, _, _, node = ready[0]
-            if eligible > self.cycle:
-                break
-            pop(ready)
-            node.in_ready = False
-            if not node.alive:
-                continue
-            self._execute(node)
-            budget -= 1
-            issued += 1
-        if issued:
-            self.stats.stage_issue_cycles += 1
-
-    def _execute(self, node: DynInstr) -> None:
-        self.stats.issues_total += 1
-        node.issue_count += 1
-        if node.first_issue_cycle < 0:
-            node.first_issue_cycle = self.cycle
-        if node.fetched_under_mp and node.issued_under_mp:
-            node.reissued_after_mp = True
-        node.inflight = True
-        instr = node.instr
-        a = node.src1_tag.value if node.src1_tag is not None else 0
-        b = node.src2_tag.value if node.src2_tag is not None else 0
-        if node.src1_tag is not None:
-            node.src1_version = node.src1_tag.version
-        if node.src2_tag is not None:
-            node.src2_version = node.src2_tag.version
-        result = evaluate(instr, node.pc, a, b)
-        latency = self._lat[instr.opcode]
-        if instr.f_load:
-            node.addr = result.addr
-            latency = 1 + self.cache.access(result.addr)
-        elif instr.f_store:
-            node.prev_addr = node.addr
-            node.addr = result.addr
-            node.store_value = result.store_value
-        elif instr.f_control:
-            node.outcome_taken = result.taken
-            node.outcome_next_pc = result.next_pc
-            node.value = result.value  # call link address
-        else:
-            node.value = result.value
-        done = self.cycle + latency
-        self._completing.setdefault(done, []).append((node, node.issue_count))
-
-    # ==================================================================
-    # completion
-
-    def _complete_phase(self) -> None:
-        events = self._completing.pop(self.cycle, None)
-        if events:
-            for node, token in events:
-                if not node.alive or token != node.issue_count:
-                    continue
-                node.inflight = False
-                self._complete(node)
-        if self._pending_branches:
-            still_pending: list[tuple[DynInstr, int]] = []
-            for node, token in self._pending_branches:
-                if not node.alive or token != node.issue_count:
-                    continue
-                if not self._try_complete_branch(node):
-                    still_pending.append((node, token))
-            self._pending_branches = still_pending
-        if self._any_completed:
-            self.stats.stage_complete_cycles += 1
-            self._any_completed = False
-        if self._any_recovered:
-            self.stats.stage_recover_cycles += 1
-            self._any_recovered = False
-
-    def _complete(self, node: DynInstr) -> None:
-        instr = node.instr
-        if instr.f_branch or instr.f_indirect:
-            if not self._try_complete_branch(node):
-                self._pending_branches.append((node, node.issue_count))
-            return
-        node.completed = True
-        self._any_completed = True
-        if instr.f_load:
-            source = self.lsq.forward_source(node)
-            if source is not None:
-                value = source.store_value
-                node.fwd_store = source
-            else:
-                value = self.committed_mem.get(node.addr, 0)
-                node.fwd_store = None
-            node.value = value
-            self._broadcast(node)
-        elif instr.f_store:
-            self.lsq.store_resolved(node)
-            self._store_executed(node)
-        else:
-            self._broadcast(node)
-
-    def _broadcast(self, node: DynInstr) -> None:
-        tag = node.dest_tag
-        if tag is None:
-            return
-        if tag.broadcast(node.value):
-            # _wake only pushes onto the ready heap — it never mutates the
-            # consumer list — so iterating the live list directly is safe
-            # (the old defensive copy allocated per broadcast).
-            wake = self._wake
-            cycle = self.cycle
-            dead = 0
-            for consumer in tag.consumers:
-                if consumer.alive:
-                    if consumer is not node:
-                        wake(consumer, cycle)
-                else:
-                    dead += 1
-            if dead > 8 and dead * 2 > len(tag.consumers):
-                tag.consumers = [c for c in tag.consumers if c.alive]
-
-    def _store_executed(self, node: DynInstr) -> None:
-        addrs = {node.addr}
-        if node.prev_addr is not None:
-            addrs.add(node.prev_addr)  # loads bound to the stale address
-        affected = self.lsq.loads_affected_by(node, addrs)
-        for load in affected:
-            if load.fwd_store is node and load.value == node.store_value:
-                continue  # already forwarded the right value
-            self.stats.reissues_memory += 1
-            self._wake(load, self.cycle + 1)  # 1-cycle squash penalty
-
-    # ------------------------------------------------------------------
-    # branch completion (gating models of Appendix A.2)
-
-    def _oldest_incomplete_branch(self) -> DynInstr | None:
-        """Oldest alive incomplete branch, maintained event-style: the
-        cache survives until its node completes or is squashed (dispatch
-        repairs it in place), so in-order gating is one order compare
-        instead of a scan over every incomplete branch."""
-        if not self._oldest_gate_valid:
-            oldest = None
-            for other in self._incomplete_branches.values():
-                if other.alive and not other.completed and (
-                    oldest is None or other.order < oldest.order
-                ):
-                    oldest = other
-            self._oldest_gate = oldest
-            self._oldest_gate_valid = True
-        return self._oldest_gate
-
-    def _branch_gates_open(self, node: DynInstr) -> bool:
-        if self._gate_in_order:
-            oldest = self._oldest_incomplete_branch()
-            if oldest is not None and oldest.order < node.order:
-                return False
-        if self._gate_stores:
-            if self.lsq.unresolved_older_stores(node):
-                return False
-        return True
-
-    def _would_be_false_misprediction(self, node: DynInstr) -> bool:
-        entry = self._golden_entry_for(node)
-        if entry is None:
-            return False
-        return entry.next_pc == node.current_next_pc
-
-    def _try_complete_branch(self, node: DynInstr) -> bool:
-        if not self._branch_gates_open(node):
-            return False
-        mismatch = node.outcome_next_pc != node.current_next_pc
-        if (
-            mismatch
-            and self.config.hide_false_mispredictions
-            and self._would_be_false_misprediction(node)
-        ):
-            return False  # oracle delays completion until operands correct
-        node.completed = True
-        self._any_completed = True
-        self._incomplete_branches.pop(node.uid, None)
-        if self._oldest_gate is node:
-            self._oldest_gate_valid = False
-        if node.dest_tag is not None:  # calls write the link register
-            self._broadcast(node)
-        if mismatch:
-            self._recover(node)
-        return True
-
-    # ==================================================================
-    # recovery (Sections 3.1, 4; Appendix A.1)
-
-    def _find_reconvergent(self, branch: DynInstr) -> DynInstr | None:
-        policy = self.config.reconv_policy
-        if policy is ReconvPolicy.NONE:
-            return None
-        if policy is ReconvPolicy.POSTDOM:
-            if not branch.instr.f_branch:
-                return None
-            target = self.reconv_table.reconvergent_pc(branch.pc)
-            if target is None:
-                return None
-            candidates = {target}
-        else:
-            backward = (
-                branch.instr.f_branch and branch.instr.target <= branch.pc
-            )
-            if policy.uses_ltb and backward:
-                candidates = {branch.pc + 1}  # not-taken target of the loop branch
-            else:
-                candidates = set()
-                if policy.uses_return:
-                    candidates |= self._return_targets
-                if policy.uses_loop:
-                    candidates |= self._loop_targets
-                if not candidates:
-                    return None
-        # An outstanding restart's unfilled gap makes everything beyond it
-        # a *later* dynamic instance of any matching PC: searching across
-        # it would reconverge onto the wrong instance and splice whole
-        # iterations out of the window.  Stop at the first open gap.
-        gap_markers = {
-            ctx.insert_point for ctx in self.contexts if ctx.phase == "restart"
-        }
-        node = branch.next
-        tail = self.rob.tail_sentinel
-        while node is not tail:
-            if node.pc in candidates:
-                return node
-            if node in gap_markers:
-                return None
-            node = node.next
-        return None
-
-    def _classify_misprediction(self, branch: DynInstr) -> bool:
-        """Record true/false misprediction stats; returns False-ness."""
-        entry = self._golden_entry_for(branch)
-        false_mp = entry is not None and entry.next_pc == branch.current_next_pc
-        if false_mp:
-            self.stats.false_mispredictions += 1
-        else:
-            self.stats.true_mispredictions += 1
-        for collector in self.tfr_collectors:
-            collector.record(branch.pc, branch.history_used, false_mp)
-        return false_mp
-
-    def _recover(self, branch: DynInstr) -> None:
-        """The branch's computed outcome contradicts the fetched path."""
-        self.stats.recoveries += 1
-        self._any_recovered = True
-        self._classify_misprediction(branch)
-        reconv = self._find_reconvergent(branch)
-
-        if reconv is None:
-            self.stats.full_squashes += 1
-            self._full_squash(branch)
-            return
-
-        # Preemption of an active restart (Appendix A.1).
-        if self.contexts and self.config.preemption is Preemption.SIMPLE:
-            current = self._active_context()
-            if current.branch is not branch and current.phase == "restart":
-                self.stats.preemptions += 1
-                subsumed = (
-                    branch.order < current.branch.order
-                    and reconv.order >= current.branch.order
-                )
-                if not subsumed:
-                    # CASES 1 and 3: preempt the active restart by squashing
-                    # from its reconvergent point on; its partially inserted
-                    # path becomes the window tail and plain fetch resumes
-                    # it (the simple sequencer remembers only one restart).
-                    self._preempt_simple(current)
-                    if not branch.alive:
-                        return  # the new misprediction was squashed with the tail
-                # CASE 2 (subsumed): the new recovery's own squash region
-                # covers the current restart; nothing special to do.
-        elif self.contexts:
-            self.stats.preemptions += 1
-        self.stats.reconverged_recoveries += 1
-
-        # Selectively squash the incorrect control-dependent region.
-        removed = 0
-        node = reconv.prev
-        while node is not branch:
-            prev = node.prev
-            self._squash_node(node)
-            removed += 1
-            node = prev
-        self.stats.removed_cd_instructions += removed
-
-        # Table 2/3 bookkeeping over the preserved CI region (direct link
-        # traversal: this runs once per reconverged recovery over up to a
-        # window's worth of nodes).
-        preserved = 0
-        ci = reconv
-        tail = self.rob.tail_sentinel
-        while ci is not tail:
-            preserved += 1
-            ci.fetched_under_mp = True
-            ci.issued_under_mp = ci.issue_count > 0
-            ci.reissued_after_mp = False
-            ci = ci.next
-        self.stats.ci_instructions_preserved += preserved
-
-        # Build the restart context.
-        ctx = _Context(
-            fetch_pc=branch.outcome_next_pc,
-            ghr=self._history_after(branch),
-            rmap=self._map_after(branch),
-        )
-        ctx.branch = branch
-        ctx.reconv = reconv
-        ctx.insert_point = branch
-        ctx.phase = "restart"
-        ctx.start_cycle = self.cycle
-        branch.current_taken = branch.outcome_taken
-        branch.current_next_pc = branch.outcome_next_pc
-        branch.recovering = True
-        if branch.instr.f_branch:
-            self.frontend.ras.restore(branch.ras_snapshot)
-        # Prune contexts invalidated by the squash (including any stale
-        # context for this same branch), then activate the new one.
-        self.contexts = [c for c in self.contexts if c.branch is not branch]
-        self._prune_contexts()
-        self.contexts.append(ctx)
-
-    def _history_up_to(self, ctx: _Context, stop: DynInstr, inclusive: bool) -> int:
-        """Reconstruct the global history at ``stop`` from the recovered
-        branch's (possibly walk-corrected) fetch history plus the current
-        directions of every live branch in between."""
-        ghr = self._history_after(ctx.branch)
-        if stop is ctx.branch:
-            return ghr
-        node = ctx.branch.next
-        tail = self.rob.tail_sentinel
-        push = self.frontend.push_history
-        while node is not tail:
-            if not inclusive and node is stop:
-                break
-            if node.alive and node.instr.f_branch:
-                ghr = push(ghr, node.current_taken)
-            if inclusive and node is stop:
-                break
-            node = node.next
-        return ghr
-
-    def _preempt_simple(self, current: _Context) -> None:
-        """Simple preemption: abandon the active restart, squashing from
-        its reconvergent point on (paper A.1.1 CASE 3)."""
-        if current.reconv is not None and current.reconv.alive:
-            self._squash_after(current.reconv.prev)
-        self.frontier.fetch_pc = current.fetch_pc
-        self.frontier.ghr = current.ghr
-        tail = self.rob.tail
-        self.frontier.rmap = self._map_after(
-            tail if tail is not None else self.rob.head_sentinel
-        )
-        self.frontier.segment = None
-        self.frontier.stalled = current.stalled
-        for ctx in self.contexts:
-            if ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
-        self.contexts.clear()
-
-    def _history_after(self, branch: DynInstr) -> int:
-        if branch.instr.f_branch:
-            return self.frontend.push_history(branch.history_used, branch.outcome_taken)
-        return branch.history_used
-
-    def _map_after(self, anchor: DynInstr) -> list:
-        """Rename map just after ``anchor`` executes, rebuilt forward from
-        the commit-side map over the live window contents.  Immune to any
-        amount of prior insertion, removal and redispatch.
-
-        Memoized per (window epoch, anchor): a recovery builds this map
-        and the sequencer's reactivation immediately rebuilds it for the
-        same anchor, so repeated walks within one epoch are one dict hit.
-        Callers mutate the returned map, so each call hands out a copy."""
-        if self._map_cache_epoch != self._map_epoch:
-            self._map_cache.clear()
-            self._map_cache_epoch = self._map_epoch
-        snap = self._map_cache.get(anchor.uid)
-        if snap is None:
-            snap = list(self.retired_map)
-            node = self.rob.head_sentinel.next
-            tail = self.rob.tail_sentinel
-            while node is not tail:
-                if node.dest_arch is not None:
-                    snap[node.dest_arch] = node.dest_tag
-                if node is anchor:
-                    break
-                node = node.next
-            self._map_cache[anchor.uid] = snap
-        return list(snap)
-
-    def _full_squash(self, branch: DynInstr) -> None:
-        rmap = self._map_after(branch)
-        node = self.rob.tail
-        while node is not None and node is not branch:
-            prev = node.prev
-            self._squash_node(node)
-            node = prev
-            if node is self.rob.head_sentinel:
-                break
-        branch.current_taken = branch.outcome_taken
-        branch.current_next_pc = branch.outcome_next_pc
-        self.frontier.rmap = rmap
-        self.frontier.fetch_pc = branch.outcome_next_pc
-        self.frontier.ghr = self._history_after(branch)
-        self.frontier.segment = None
-        self.frontier.stalled = False
-        if branch.ras_snapshot is not None:
-            self.frontend.ras.restore(branch.ras_snapshot)
-        self._prune_contexts()
-
-    def _squash_after(self, last_kept: DynInstr) -> None:
-        """Squash every instruction after ``last_kept`` (tail-first)."""
-        node = self.rob.tail
-        while node is not None and node is not last_kept:
-            prev = node.prev
-            self._squash_node(node)
-            node = prev
-            if node is self.rob.head_sentinel:
-                break
-
-    def _squash_node(self, node: DynInstr) -> None:
-        self._needs_remap = True  # captured maps may now reference the dead
-        self._map_epoch += 1
-        node.squashed = True
-        was_store = node.instr.f_store and node.completed
-        addr = node.addr
-        self.rob.remove(node)
-        self.lsq.drop(node)
-        if self._incomplete_branches.pop(node.uid, None) is not None:
-            if self._oldest_gate is node:
-                self._oldest_gate_valid = False
-        if was_store:
-            for load in self.lsq.loads_affected_by(node, {addr}):
-                self.stats.reissues_memory += 1
-                self._wake(load, self.cycle + 1)
-
-    def _prune_contexts(self) -> None:
-        """Drop contexts invalidated by a squash.
-
-        A context dies when its branch was squashed, or when a nested
-        recovery squashed its insertion chain — in the latter case the
-        nested recovery's own context (or the redirected frontier)
-        subsumes the remaining gap, because the squashed branch lay on
-        this context's correct control-dependent path."""
-        kept = []
-        for ctx in self.contexts:
-            if ctx.branch is not None and not ctx.branch.alive:
-                continue
-            if ctx.phase == "restart" and ctx.insert_point is not None and not (
-                ctx.insert_point.alive or ctx.insert_point is ctx.branch
-            ):
-                continue
-            if ctx.reconv is not None and not ctx.reconv.alive:
-                # Reconvergent point squashed: the context degenerates to
-                # plain tail fetch once it reaches the top of the stack.
-                ctx.reconv = None
-            kept.append(ctx)
-        for ctx in self.contexts:
-            if ctx not in kept and ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
-        self.contexts = kept
-
-    # ==================================================================
-    # sequencer: restart fetch, redispatch walk, frontier fetch
-
-    def _sequencer_phase(self) -> None:
-        if self.contexts:
-            ctx = self._active_context()
-            if ctx is not self._last_active or self._needs_remap:
-                self._reactivate(ctx)
-                self._last_active = ctx
-                self._needs_remap = False
-            if ctx.phase == "restart":
-                self._restart_fetch(ctx)
-            if ctx is self._active_context() and ctx.phase == "redispatch":
-                self._redispatch_walk(ctx)
-            return
-        self._last_active = None
-        self._frontier_fetch()
-
-    def _reactivate(self, ctx: _Context) -> None:
-        """A context gained control of the sequencer: rebuild its rename
-        map and global-history register, since recoveries serviced in
-        between may have squashed, remapped or re-predicted instructions
-        its captured state depends on."""
-        if ctx.phase == "restart":
-            ctx.rmap = self._map_after(ctx.insert_point)
-            ctx.ghr = self._history_up_to(ctx, ctx.insert_point, inclusive=True)
-        elif ctx.phase == "redispatch":
-            cursor = ctx.walk_cursor
-            while cursor is not None and not cursor.alive and cursor is not self.rob.tail_sentinel:
-                cursor = cursor.next
-            if cursor is None or cursor is self.rob.tail_sentinel:
-                ctx.walk_cursor = self.rob.tail_sentinel
-                tail = self.rob.tail
-                ctx.rmap = self._map_after(
-                    tail if tail is not None else self.rob.head_sentinel
-                )
-            else:
-                ctx.walk_cursor = cursor
-                ctx.rmap = self._map_after(cursor.prev)
-                ctx.ghr = self._history_up_to(ctx, cursor, inclusive=False)
-
-    def _frontier_fetch(self) -> None:
-        ctx = self.frontier
-        if ctx.stalled:
-            return
-        budget = self.config.width
-        fetched_before = self.stats.fetched
-        while budget > 0 and not self.rob.full and not ctx.stalled:
-            if self._dispatch(ctx, ctx.fetch_pc) is None:
-                break
-            budget -= 1
-        if self.stats.fetched != fetched_before:
-            self.stats.stage_fetch_cycles += 1
-
-    def _restart_fetch(self, ctx: _Context) -> None:
-        if ctx.reconv is not None and not ctx.reconv.alive:
-            ctx.reconv = None
-        if ctx.reconv is None:
-            # The reconvergent point is gone: this restart is simply the
-            # window tail, so it continues as the frontier.
-            self._context_to_frontier(ctx)
-            return
-        budget = self.config.width
-        while budget > 0:
-            if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
-                self._finish_restart(ctx)
-                return
-            if ctx.stalled:
-                self._finish_restart(ctx)  # ran off the program: give up
-                return
-            if self.rob.full:
-                if not self._squash_youngest_ci(ctx):
-                    return  # cannot make room this cycle
-                continue
-            if self._dispatch(ctx, ctx.fetch_pc) is None:
-                self._finish_restart(ctx)
-                return
-            budget -= 1
-        if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
-            self._finish_restart(ctx)
-
-    def _squash_youngest_ci(self, ctx: _Context) -> bool:
-        """Make room for a restart by squashing the youngest instruction
-        (paper Sec 3.2.2).  Returns False if nothing can be squashed.
-
-        The frontier is backed up to the victim so it is refetched after
-        the restart/redispatch completes (whose final walk map becomes
-        the frontier map, keeping renaming consistent)."""
-        victim = self.rob.tail
-        if victim is None:
-            return False
-        if victim is ctx.insert_point or victim is ctx.branch:
-            return False  # would eat the restart being serviced
-        self.stats.squashed_ci_for_restart += 1
-        # Back the frontier up so the victim is refetched later; GHR, RAS
-        # and the rename map are all regenerated by the redispatch walk,
-        # which ends exactly at the new tail.
-        self.frontier.fetch_pc = victim.pc
-        self.frontier.stalled = False
-        self.frontier.segment = None
-        self._squash_node(victim)
-        self._prune_contexts()
-        if ctx not in self.contexts or ctx.reconv is None:
-            return False  # the restart itself was invalidated by the squash
-        return True
-
-    def _context_to_frontier(self, ctx: _Context) -> None:
-        if ctx.branch is not None:
-            ctx.branch.recovering = False
-        self.frontier.fetch_pc = ctx.fetch_pc
-        self.frontier.ghr = ctx.ghr
-        # The context's captured map may reference instructions squashed
-        # since it was built; the live window tail is the truth.
-        tail = self.rob.tail
-        self.frontier.rmap = self._map_after(
-            tail if tail is not None else self.rob.head_sentinel
-        )
-        self.frontier.segment = ctx.segment
-        self.frontier.stalled = ctx.stalled
-        self.contexts.remove(ctx)
-
-    def _finish_restart(self, ctx: _Context) -> None:
-        self.stats.restart_count += 1
-        self.stats.restart_cycles_total += self.cycle - ctx.start_cycle + 1
-        self.stats.inserted_cd_instructions += ctx.inserted
-        if ctx.reconv is None or not ctx.reconv.alive:
-            self._context_to_frontier(ctx)
-            return
-        ctx.phase = "redispatch"
-        ctx.walk_cursor = ctx.reconv
-        ctx.walk_ras = None
-        if self.config.instant_redispatch:
-            self._redispatch_walk(ctx, instant=True)
-
-    def _redispatch_walk(self, ctx: _Context, instant: bool = False) -> None:
-        """Walk the CI region: remap sources, re-predict branches."""
-        budget = self.rob.window_size if instant else self.config.width
-        rmap = ctx.rmap
-        node = ctx.walk_cursor
-        tail = self.rob.tail_sentinel
-        while node is not tail and budget > 0:
-            if not node.alive:
-                node = node.next
-                continue
-            overturned = self._redispatch_node(ctx, node, rmap)
-            budget -= 1
-            if overturned:
-                return  # context finished inside the overturn handler
-            node = node.next
-        if node is tail:
-            self._finish_redispatch(ctx)
-        else:
-            ctx.walk_cursor = node
-
-    def _redispatch_node(self, ctx: _Context, node: DynInstr, rmap: list) -> bool:
-        instr = node.instr
-        repaired = False
-        if instr.reads_rs1:
-            tag = rmap[instr.rs1]
-            if tag is not node.src1_tag:
-                node.src1_tag = tag
-                tag.consumers.append(node)
-                repaired = True
-        if instr.reads_rs2:
-            tag = rmap[instr.rs2]
-            if tag is not node.src2_tag:
-                node.src2_tag = tag
-                tag.consumers.append(node)
-                repaired = True
-        if repaired:
-            self.stats.ci_rename_repairs += 1
-            if node.issue_count > 0:
-                self.stats.reissues_register += 1
-            self._wake(node, self.cycle + 1)
-        if node.dest_arch is not None:
-            rmap[node.dest_arch] = node.dest_tag
-
-        # RAS replay so the frontier stack is exact after the walk.
-        if instr.f_call:
-            self.frontend.ras.push(node.pc + 1)
-        elif instr.f_return:
-            self.frontend.ras.pop()
-
-        if instr.f_branch:
-            return self._repredict(ctx, node)
-        return False
-
-    def _repredict(self, ctx: _Context, node: DynInstr) -> bool:
-        """Re-predict one CI branch during redispatch (Appendix A.3.2).
-
-        Returns True when the prediction was overturned (everything after
-        the branch is squashed and fetch redirects)."""
-        mode = self.config.repredict_mode
-        direction = node.current_taken
-        if mode is RepredictMode.NONE:
-            pass
-        elif node.completed:
-            direction = node.outcome_taken  # force the predictor
-        elif mode is RepredictMode.ORACLE:
-            entry = self._golden_entry_for(node)
-            if entry is not None:
-                direction = entry.taken
-        else:
-            direction = self.frontend.gshare.predict(node.pc, ctx.ghr)
-        node.history_used = ctx.ghr
-        if direction != node.current_taken:
-            self.stats.repredict_events += 1
-            entry = self._golden_entry_for(node)
-            if entry is not None and entry.taken == node.current_taken:
-                self.stats.repredict_overturned_correct += 1
-            self._overturn(ctx, node, direction)
-            return True
-        ctx.ghr = self.frontend.push_history(ctx.ghr, direction)
-        return False
-
-    def _overturn(self, ctx: _Context, node: DynInstr, direction: bool) -> None:
-        """A re-prediction changed a CI branch's direction: squash after it
-        and resume plain fetch down the new path."""
-        self._squash_after(node)
-        node.current_taken = direction
-        node.current_next_pc = node.instr.target if direction else node.pc + 1
-        node.predicted_taken = direction
-        self.frontier.fetch_pc = node.current_next_pc
-        self.frontier.ghr = self.frontend.push_history(ctx.ghr, direction)
-        self.frontier.rmap = ctx.rmap
-        self.frontier.segment = None
-        self.frontier.stalled = False
-        if ctx.branch is not None:
-            ctx.branch.recovering = False
-        if ctx in self.contexts:
-            self.contexts.remove(ctx)
-        self._prune_contexts()
-        if self.contexts:
-            # Some suspended context survived; it will republish the
-            # frontier state when it completes.
-            self._last_active = None
-
-    def _finish_redispatch(self, ctx: _Context) -> None:
-        if ctx.branch is not None:
-            ctx.branch.recovering = False
-        self.frontier.rmap = ctx.rmap
-        self.frontier.ghr = ctx.ghr
-        self.frontier.segment = None
-        if ctx in self.contexts:
-            self.contexts.remove(ctx)
-        # Suspended contexts rebuild their maps when reactivated.
-
-    # ==================================================================
-    # retire
-
-    def _retire_phase(self) -> None:
-        budget = self.config.width
-        retired_any = False
-        golden = self.golden.entries
-        n_golden = len(golden)
-        tail = self.rob.tail_sentinel
-        while budget > 0:
-            node = self.rob.head
-            if node is None:
-                break
-            if not node.completed or node.in_ready or node.inflight or node.recovering:
-                break
-            # Commit-time sequence check (real pipelines verify next-PC at
-            # retirement): if the window successor does not continue this
-            # instruction's committed path — possible after a mis-spliced
-            # heuristic reconvergence — flush younger state and refetch.
-            expected_next = (
-                node.current_next_pc if node.instr.f_control else node.pc + 1
-            )
-            succ = node.next
-            if succ is not tail and succ.pc != expected_next:
-                self._sequence_repair(node, expected_next)
-            entry = golden[self.retired_count] if self.retired_count < n_golden else None
-            if entry is None or entry.pc != node.pc:
-                raise CosimulationError(
-                    f"retired pc {node.pc} but golden expects "
-                    f"{entry.pc if entry else 'END'} at index {self.retired_count}",
-                    snapshot=self.snapshot(),
-                )
-            self._check_and_commit(node, entry)
-            if node.dest_arch is not None:
-                self.retired_map[node.dest_arch] = node.dest_tag
-            self.stats.issues_of_retired += node.issue_count
-            node.retired = True
-            retired_any = True
-            self._map_epoch += 1
-            self.lsq.drop(node)
-            self.rob.retire(node)
-            self.retired_count += 1
-            self.stats.retired += 1
-            budget -= 1
-            if node.instr.op is Op.HALT:
-                self.halted = True
-                break
-        if retired_any:
-            self.stats.stage_retire_cycles += 1
-
-    def _check_and_commit(self, node: DynInstr, entry) -> None:
-        instr = node.instr
-        if instr.f_store:
-            if node.addr != entry.addr or node.store_value != entry.store_value:
-                raise CosimulationError(
-                    f"store at pc {node.pc}: simulated {node.addr}={node.store_value}, "
-                    f"golden {entry.addr}={entry.store_value}",
-                    snapshot=self.snapshot(),
-                )
-            self.committed_mem[node.addr] = node.store_value
-        elif node.dest_tag is not None:
-            if node.value != entry.value:
-                raise CosimulationError(
-                    f"pc {node.pc} ({instr.op.name}): simulated value {node.value}, "
-                    f"golden {entry.value}",
-                    snapshot=self.snapshot(),
-                )
-        if instr.f_control:
-            if node.current_next_pc != entry.next_pc:
-                raise CosimulationError(
-                    f"control at pc {node.pc}: retiring down {node.current_next_pc}, "
-                    f"golden goes to {entry.next_pc}",
-                    snapshot=self.snapshot(),
-                )
-            # Train the predictor at retirement (delayed update, Sec 4.1).
-            self.frontend.update(
-                instr, node.pc, self.retire_ghr, entry.taken, entry.next_pc
-            )
-            if instr.f_branch or (instr.f_indirect and not instr.f_return):
-                self.stats.branch_events += 1
-                if node.predicted_next_pc != entry.next_pc:
-                    self.stats.branch_mispredictions_retired += 1
-            if instr.f_branch:
-                self.retire_ghr = self.frontend.push_history(
-                    self.retire_ghr, entry.taken
-                )
-        # Table 3 classification.
-        if node.fetched_under_mp:
-            self.stats.retired_fetch_saved += 1
-            if node.issued_under_mp and not node.reissued_after_mp:
-                self.stats.retired_work_saved += 1
-            elif node.issued_under_mp:
-                self.stats.retired_work_discarded += 1
-            else:
-                self.stats.retired_only_fetched += 1
-
-    def _sequence_repair(self, node: DynInstr, expected_next: int) -> None:
-        """Flush everything younger than the retiring instruction and
-        refetch from its committed successor."""
-        if self.config.strict_commit:
-            succ = node.next
-            raise CosimulationError(
-                f"commit-time next-PC check failed at pc {node.pc}: committed "
-                f"path continues at {expected_next} but the window holds pc "
-                f"{succ.pc if succ is not self.rob.tail_sentinel else 'END'} — "
-                "mis-spliced reconvergence under exact post-dominator info",
-                snapshot=self.snapshot(),
-            )
-        self.stats.sequence_repairs += 1
-        self._squash_after(node)
-        for ctx in self.contexts:
-            if ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
-        self.contexts.clear()
-        node.recovering = False
-        self.frontier.fetch_pc = expected_next
-        ghr = self.retire_ghr
-        if node.instr.f_branch:
-            ghr = self.frontend.push_history(ghr, node.outcome_taken)
-        self.frontier.ghr = ghr
-        self.frontier.rmap = self._map_after(node)
-        self.frontier.segment = None
-        self.frontier.stalled = False
-        if node.ras_snapshot is not None:
-            self.frontend.ras.restore(node.ras_snapshot)
-            if node.instr.f_call:
-                self.frontend.ras.push(node.pc + 1)
-            elif node.instr.f_return:
-                self.frontend.ras.pop()
-
-    # ==================================================================
+    # the cycle loop: explicit stage wiring
 
     def run(self) -> CoreStats:
         max_cycles = self.config.max_cycles

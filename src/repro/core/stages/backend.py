@@ -1,0 +1,234 @@
+"""Backend stage: issue, execute, complete, broadcast (paper Sec 4.1).
+
+Instructions issue from a ready heap at dispatch+2, execute with dense
+opcode-indexed latencies, and complete by broadcasting values to
+consumers — reissuing any whose inputs changed (selective reissue),
+including loads squashed by stores.  Branch completion is gated by the
+configured completion model (Appendix A.2): in-order models consult the
+event-maintained oldest-incomplete-branch cache, store-gated models the
+LSQ's unresolved-store subset.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ...isa import evaluate
+from ..rob import DynInstr
+
+
+class BackendStage:
+    """Issue/execute/complete methods mixed into the Processor facade."""
+
+    def _operands_ready(self, node: DynInstr) -> bool:
+        t1, t2 = node.src1_tag, node.src2_tag
+        return (t1 is None or t1.ready) and (t2 is None or t2.ready)
+
+    def _push_ready(self, node: DynInstr, eligible: int) -> None:
+        if node.in_ready:
+            return
+        node.in_ready = True
+        heapq.heappush(self._ready, (eligible, node.order, node.uid, node))
+
+    def _wake(self, node: DynInstr, eligible: int) -> None:
+        """A source tag broadcast a new value (or rename repair): reissue."""
+        if not node.alive:
+            return
+        if node.issue_count == 0 and not self._operands_ready(node):
+            return
+        self._push_ready(node, max(eligible, node.dispatch_cycle + 2))
+
+    # ==================================================================
+    # issue & execute
+
+    def _issue_phase(self) -> None:
+        budget = self.config.width
+        issued = 0
+        ready = self._ready
+        pop = heapq.heappop
+        while ready and budget > 0:
+            eligible, _, _, node = ready[0]
+            if eligible > self.cycle:
+                break
+            pop(ready)
+            node.in_ready = False
+            if not node.alive:
+                continue
+            self._execute(node)
+            budget -= 1
+            issued += 1
+        if issued:
+            self.stats.stage_issue_cycles += 1
+
+    def _execute(self, node: DynInstr) -> None:
+        self.stats.issues_total += 1
+        node.issue_count += 1
+        if node.first_issue_cycle < 0:
+            node.first_issue_cycle = self.cycle
+        if node.fetched_under_mp and node.issued_under_mp:
+            node.reissued_after_mp = True
+        node.inflight = True
+        instr = node.instr
+        a = node.src1_tag.value if node.src1_tag is not None else 0
+        b = node.src2_tag.value if node.src2_tag is not None else 0
+        if node.src1_tag is not None:
+            node.src1_version = node.src1_tag.version
+        if node.src2_tag is not None:
+            node.src2_version = node.src2_tag.version
+        result = evaluate(instr, node.pc, a, b)
+        latency = self._lat[instr.opcode]
+        if instr.f_load:
+            node.addr = result.addr
+            latency = 1 + self.cache.access(result.addr)
+        elif instr.f_store:
+            node.prev_addr = node.addr
+            node.addr = result.addr
+            node.store_value = result.store_value
+        elif instr.f_control:
+            node.outcome_taken = result.taken
+            node.outcome_next_pc = result.next_pc
+            node.value = result.value  # call link address
+        else:
+            node.value = result.value
+        done = self.cycle + latency
+        self._completing.setdefault(done, []).append((node, node.issue_count))
+
+    # ==================================================================
+    # completion
+
+    def _complete_phase(self) -> None:
+        events = self._completing.pop(self.cycle, None)
+        if events:
+            for node, token in events:
+                if not node.alive or token != node.issue_count:
+                    continue
+                node.inflight = False
+                self._complete(node)
+        if self._pending_branches:
+            still_pending: list[tuple[DynInstr, int]] = []
+            for node, token in self._pending_branches:
+                if not node.alive or token != node.issue_count:
+                    continue
+                if not self._try_complete_branch(node):
+                    still_pending.append((node, token))
+            self._pending_branches = still_pending
+        if self._any_completed:
+            self.stats.stage_complete_cycles += 1
+            self._any_completed = False
+        if self._any_recovered:
+            self.stats.stage_recover_cycles += 1
+            self._any_recovered = False
+
+    def _complete(self, node: DynInstr) -> None:
+        instr = node.instr
+        if instr.f_branch or instr.f_indirect:
+            if not self._try_complete_branch(node):
+                self._pending_branches.append((node, node.issue_count))
+            return
+        node.completed = True
+        self._any_completed = True
+        if instr.f_load:
+            source = self.lsq.forward_source(node)
+            if source is not None:
+                value = source.store_value
+                node.fwd_store = source
+            else:
+                value = self.committed_mem.get(node.addr, 0)
+                node.fwd_store = None
+            node.value = value
+            self._broadcast(node)
+        elif instr.f_store:
+            self.lsq.store_resolved(node)
+            self._store_executed(node)
+        else:
+            self._broadcast(node)
+
+    def _broadcast(self, node: DynInstr) -> None:
+        tag = node.dest_tag
+        if tag is None:
+            return
+        if tag.broadcast(node.value):
+            # _wake only pushes onto the ready heap — it never mutates the
+            # consumer list — so iterating the live list directly is safe
+            # (the old defensive copy allocated per broadcast).
+            wake = self._wake
+            cycle = self.cycle
+            dead = 0
+            for consumer in tag.consumers:
+                if consumer.alive:
+                    if consumer is not node:
+                        wake(consumer, cycle)
+                else:
+                    dead += 1
+            if dead > 8 and dead * 2 > len(tag.consumers):
+                tag.consumers = [c for c in tag.consumers if c.alive]
+
+    def _store_executed(self, node: DynInstr) -> None:
+        addrs = {node.addr}
+        if node.prev_addr is not None:
+            addrs.add(node.prev_addr)  # loads bound to the stale address
+        affected = self.lsq.loads_affected_by(node, addrs)
+        for load in affected:
+            if load.fwd_store is node and load.value == node.store_value:
+                continue  # already forwarded the right value
+            self.stats.reissues_memory += 1
+            self._wake(load, self.cycle + 1)  # 1-cycle squash penalty
+
+    # ------------------------------------------------------------------
+    # branch completion (gating models of Appendix A.2)
+
+    def _oldest_incomplete_branch(self) -> DynInstr | None:
+        """Oldest alive incomplete branch, maintained event-style: the
+        cache survives until its node completes or is squashed (dispatch
+        repairs it in place), so in-order gating is one order compare
+        instead of a scan over every incomplete branch."""
+        if not self._oldest_gate_valid:
+            oldest = None
+            for other in self._incomplete_branches.values():
+                if other.alive and not other.completed and (
+                    oldest is None or other.order < oldest.order
+                ):
+                    oldest = other
+            self._oldest_gate = oldest
+            self._oldest_gate_valid = True
+        return self._oldest_gate
+
+    def _branch_gates_open(self, node: DynInstr) -> bool:
+        if self._gate_in_order:
+            oldest = self._oldest_incomplete_branch()
+            if oldest is not None and oldest.order < node.order:
+                return False
+        if self._gate_stores:
+            if self.lsq.unresolved_older_stores(node):
+                return False
+        return True
+
+    def _would_be_false_misprediction(self, node: DynInstr) -> bool:
+        entry = self._golden_entry_for(node)
+        if entry is None:
+            return False
+        return entry.next_pc == node.current_next_pc
+
+    def _try_complete_branch(self, node: DynInstr) -> bool:
+        if not self._branch_gates_open(node):
+            return False
+        mismatch = node.outcome_next_pc != node.current_next_pc
+        if (
+            mismatch
+            and self.config.hide_false_mispredictions
+            and self._would_be_false_misprediction(node)
+        ):
+            return False  # oracle delays completion until operands correct
+        node.completed = True
+        self._any_completed = True
+        self._incomplete_branches.pop(node.uid, None)
+        if self._oldest_gate is node:
+            self._oldest_gate_valid = False
+        if node.dest_tag is not None:  # calls write the link register
+            self._broadcast(node)
+        if mismatch:
+            self._recover(node)
+        return True
+
+
+__all__ = ["BackendStage"]

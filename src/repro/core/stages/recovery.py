@@ -1,0 +1,419 @@
+"""Recovery stage: misprediction recovery, squash, redispatch, repredict.
+
+Implements Sections 3.1 and 4 plus Appendix A.1/A.3: a completing branch
+whose outcome contradicts the fetched path looks up its reconvergent
+point, selectively squashes the incorrect control-dependent region (or
+fully squashes when no reconvergent point is in the window), and drives
+the redispatch walk that remaps source registers, replays the RAS and
+re-predicts control-independent branches against the repaired history.
+Rename maps are rebuilt forward from the commit-side map and memoized
+per window epoch.
+"""
+
+from __future__ import annotations
+
+from ..config import Preemption, ReconvPolicy, RepredictMode
+from ..rob import DynInstr
+from .sequencer import _Context
+
+
+class RecoveryStage:
+    """Recovery/squash/redispatch methods mixed into the Processor facade."""
+
+    # ==================================================================
+    # recovery (Sections 3.1, 4; Appendix A.1)
+
+    def _find_reconvergent(self, branch: DynInstr) -> DynInstr | None:
+        policy = self.config.reconv_policy
+        if policy is ReconvPolicy.NONE:
+            return None
+        if policy is ReconvPolicy.POSTDOM:
+            if not branch.instr.f_branch:
+                return None
+            target = self.reconv_table.reconvergent_pc(branch.pc)
+            if target is None:
+                return None
+            candidates = {target}
+        else:
+            backward = (
+                branch.instr.f_branch and branch.instr.target <= branch.pc
+            )
+            if policy.uses_ltb and backward:
+                candidates = {branch.pc + 1}  # not-taken target of the loop branch
+            else:
+                candidates = set()
+                if policy.uses_return:
+                    candidates |= self._return_targets
+                if policy.uses_loop:
+                    candidates |= self._loop_targets
+                if not candidates:
+                    return None
+        # An outstanding restart's unfilled gap makes everything beyond it
+        # a *later* dynamic instance of any matching PC: searching across
+        # it would reconverge onto the wrong instance and splice whole
+        # iterations out of the window.  Stop at the first open gap.
+        gap_markers = {
+            ctx.insert_point for ctx in self.contexts if ctx.phase == "restart"
+        }
+        node = branch.next
+        tail = self.rob.tail_sentinel
+        while node is not tail:
+            if node.pc in candidates:
+                return node
+            if node in gap_markers:
+                return None
+            node = node.next
+        return None
+
+    def _classify_misprediction(self, branch: DynInstr) -> bool:
+        """Record true/false misprediction stats; returns False-ness."""
+        entry = self._golden_entry_for(branch)
+        false_mp = entry is not None and entry.next_pc == branch.current_next_pc
+        if false_mp:
+            self.stats.false_mispredictions += 1
+        else:
+            self.stats.true_mispredictions += 1
+        for collector in self.tfr_collectors:
+            collector.record(branch.pc, branch.history_used, false_mp)
+        return false_mp
+
+    def _recover(self, branch: DynInstr) -> None:
+        """The branch's computed outcome contradicts the fetched path."""
+        self.stats.recoveries += 1
+        self._any_recovered = True
+        self._classify_misprediction(branch)
+        reconv = self._find_reconvergent(branch)
+
+        if reconv is None:
+            self.stats.full_squashes += 1
+            self._full_squash(branch)
+            return
+
+        # Preemption of an active restart (Appendix A.1).
+        if self.contexts and self.config.preemption is Preemption.SIMPLE:
+            current = self._active_context()
+            if current.branch is not branch and current.phase == "restart":
+                self.stats.preemptions += 1
+                subsumed = (
+                    branch.order < current.branch.order
+                    and reconv.order >= current.branch.order
+                )
+                if not subsumed:
+                    # CASES 1 and 3: preempt the active restart by squashing
+                    # from its reconvergent point on; its partially inserted
+                    # path becomes the window tail and plain fetch resumes
+                    # it (the simple sequencer remembers only one restart).
+                    self._preempt_simple(current)
+                    if not branch.alive:
+                        return  # the new misprediction was squashed with the tail
+                # CASE 2 (subsumed): the new recovery's own squash region
+                # covers the current restart; nothing special to do.
+        elif self.contexts:
+            self.stats.preemptions += 1
+        self.stats.reconverged_recoveries += 1
+
+        # Selectively squash the incorrect control-dependent region.
+        removed = 0
+        node = reconv.prev
+        while node is not branch:
+            prev = node.prev
+            self._squash_node(node)
+            removed += 1
+            node = prev
+        self.stats.removed_cd_instructions += removed
+
+        # Table 2/3 bookkeeping over the preserved CI region (direct link
+        # traversal: this runs once per reconverged recovery over up to a
+        # window's worth of nodes).
+        preserved = 0
+        ci = reconv
+        tail = self.rob.tail_sentinel
+        while ci is not tail:
+            preserved += 1
+            ci.fetched_under_mp = True
+            ci.issued_under_mp = ci.issue_count > 0
+            ci.reissued_after_mp = False
+            ci = ci.next
+        self.stats.ci_instructions_preserved += preserved
+
+        # Build the restart context.
+        ctx = _Context(
+            fetch_pc=branch.outcome_next_pc,
+            ghr=self._history_after(branch),
+            rmap=self._map_after(branch),
+        )
+        ctx.branch = branch
+        ctx.reconv = reconv
+        ctx.insert_point = branch
+        ctx.phase = "restart"
+        ctx.start_cycle = self.cycle
+        branch.current_taken = branch.outcome_taken
+        branch.current_next_pc = branch.outcome_next_pc
+        branch.recovering = True
+        if branch.instr.f_branch:
+            self.frontend.ras.restore(branch.ras_snapshot)
+        # Prune contexts invalidated by the squash (including any stale
+        # context for this same branch), then activate the new one.
+        self.contexts = [c for c in self.contexts if c.branch is not branch]
+        self._prune_contexts()
+        self.contexts.append(ctx)
+
+    def _history_up_to(self, ctx: _Context, stop: DynInstr, inclusive: bool) -> int:
+        """Reconstruct the global history at ``stop`` from the recovered
+        branch's (possibly walk-corrected) fetch history plus the current
+        directions of every live branch in between."""
+        ghr = self._history_after(ctx.branch)
+        if stop is ctx.branch:
+            return ghr
+        node = ctx.branch.next
+        tail = self.rob.tail_sentinel
+        push = self.frontend.push_history
+        while node is not tail:
+            if not inclusive and node is stop:
+                break
+            if node.alive and node.instr.f_branch:
+                ghr = push(ghr, node.current_taken)
+            if inclusive and node is stop:
+                break
+            node = node.next
+        return ghr
+
+    def _preempt_simple(self, current: _Context) -> None:
+        """Simple preemption: abandon the active restart, squashing from
+        its reconvergent point on (paper A.1.1 CASE 3)."""
+        if current.reconv is not None and current.reconv.alive:
+            self._squash_after(current.reconv.prev)
+        self.frontier.fetch_pc = current.fetch_pc
+        self.frontier.ghr = current.ghr
+        tail = self.rob.tail
+        self.frontier.rmap = self._map_after(
+            tail if tail is not None else self.rob.head_sentinel
+        )
+        self.frontier.segment = None
+        self.frontier.stalled = current.stalled
+        for ctx in self.contexts:
+            if ctx.branch is not None and ctx.branch.alive:
+                ctx.branch.recovering = False
+        self.contexts.clear()
+
+    def _history_after(self, branch: DynInstr) -> int:
+        if branch.instr.f_branch:
+            return self.frontend.push_history(branch.history_used, branch.outcome_taken)
+        return branch.history_used
+
+    def _map_after(self, anchor: DynInstr) -> list:
+        """Rename map just after ``anchor`` executes, rebuilt forward from
+        the commit-side map over the live window contents.  Immune to any
+        amount of prior insertion, removal and redispatch.
+
+        Memoized per (window epoch, anchor): a recovery builds this map
+        and the sequencer's reactivation immediately rebuilds it for the
+        same anchor, so repeated walks within one epoch are one dict hit.
+        Callers mutate the returned map, so each call hands out a copy."""
+        if self._map_cache_epoch != self._map_epoch:
+            self._map_cache.clear()
+            self._map_cache_epoch = self._map_epoch
+        snap = self._map_cache.get(anchor.uid)
+        if snap is None:
+            snap = list(self.retired_map)
+            node = self.rob.head_sentinel.next
+            tail = self.rob.tail_sentinel
+            while node is not tail:
+                if node.dest_arch is not None:
+                    snap[node.dest_arch] = node.dest_tag
+                if node is anchor:
+                    break
+                node = node.next
+            self._map_cache[anchor.uid] = snap
+        return list(snap)
+
+    def _full_squash(self, branch: DynInstr) -> None:
+        rmap = self._map_after(branch)
+        node = self.rob.tail
+        while node is not None and node is not branch:
+            prev = node.prev
+            self._squash_node(node)
+            node = prev
+            if node is self.rob.head_sentinel:
+                break
+        branch.current_taken = branch.outcome_taken
+        branch.current_next_pc = branch.outcome_next_pc
+        self.frontier.rmap = rmap
+        self.frontier.fetch_pc = branch.outcome_next_pc
+        self.frontier.ghr = self._history_after(branch)
+        self.frontier.segment = None
+        self.frontier.stalled = False
+        if branch.ras_snapshot is not None:
+            self.frontend.ras.restore(branch.ras_snapshot)
+        self._prune_contexts()
+
+    def _squash_after(self, last_kept: DynInstr) -> None:
+        """Squash every instruction after ``last_kept`` (tail-first)."""
+        node = self.rob.tail
+        while node is not None and node is not last_kept:
+            prev = node.prev
+            self._squash_node(node)
+            node = prev
+            if node is self.rob.head_sentinel:
+                break
+
+    def _squash_node(self, node: DynInstr) -> None:
+        self._needs_remap = True  # captured maps may now reference the dead
+        self._map_epoch += 1
+        node.squashed = True
+        was_store = node.instr.f_store and node.completed
+        addr = node.addr
+        self.rob.remove(node)
+        self.lsq.drop(node)
+        if self._incomplete_branches.pop(node.uid, None) is not None:
+            if self._oldest_gate is node:
+                self._oldest_gate_valid = False
+        if was_store:
+            for load in self.lsq.loads_affected_by(node, {addr}):
+                self.stats.reissues_memory += 1
+                self._wake(load, self.cycle + 1)
+
+    def _prune_contexts(self) -> None:
+        """Drop contexts invalidated by a squash.
+
+        A context dies when its branch was squashed, or when a nested
+        recovery squashed its insertion chain — in the latter case the
+        nested recovery's own context (or the redirected frontier)
+        subsumes the remaining gap, because the squashed branch lay on
+        this context's correct control-dependent path."""
+        kept = []
+        for ctx in self.contexts:
+            if ctx.branch is not None and not ctx.branch.alive:
+                continue
+            if ctx.phase == "restart" and ctx.insert_point is not None and not (
+                ctx.insert_point.alive or ctx.insert_point is ctx.branch
+            ):
+                continue
+            if ctx.reconv is not None and not ctx.reconv.alive:
+                # Reconvergent point squashed: the context degenerates to
+                # plain tail fetch once it reaches the top of the stack.
+                ctx.reconv = None
+            kept.append(ctx)
+        for ctx in self.contexts:
+            if ctx not in kept and ctx.branch is not None and ctx.branch.alive:
+                ctx.branch.recovering = False
+        self.contexts = kept
+
+    # ==================================================================
+    # redispatch walk (Appendix A.3)
+
+    def _redispatch_walk(self, ctx: _Context, instant: bool = False) -> None:
+        """Walk the CI region: remap sources, re-predict branches."""
+        budget = self.rob.window_size if instant else self.config.width
+        rmap = ctx.rmap
+        node = ctx.walk_cursor
+        tail = self.rob.tail_sentinel
+        while node is not tail and budget > 0:
+            if not node.alive:
+                node = node.next
+                continue
+            overturned = self._redispatch_node(ctx, node, rmap)
+            budget -= 1
+            if overturned:
+                return  # context finished inside the overturn handler
+            node = node.next
+        if node is tail:
+            self._finish_redispatch(ctx)
+        else:
+            ctx.walk_cursor = node
+
+    def _redispatch_node(self, ctx: _Context, node: DynInstr, rmap: list) -> bool:
+        instr = node.instr
+        repaired = False
+        if instr.reads_rs1:
+            tag = rmap[instr.rs1]
+            if tag is not node.src1_tag:
+                node.src1_tag = tag
+                tag.consumers.append(node)
+                repaired = True
+        if instr.reads_rs2:
+            tag = rmap[instr.rs2]
+            if tag is not node.src2_tag:
+                node.src2_tag = tag
+                tag.consumers.append(node)
+                repaired = True
+        if repaired:
+            self.stats.ci_rename_repairs += 1
+            if node.issue_count > 0:
+                self.stats.reissues_register += 1
+            self._wake(node, self.cycle + 1)
+        if node.dest_arch is not None:
+            rmap[node.dest_arch] = node.dest_tag
+
+        # RAS replay so the frontier stack is exact after the walk.
+        if instr.f_call:
+            self.frontend.ras.push(node.pc + 1)
+        elif instr.f_return:
+            self.frontend.ras.pop()
+
+        if instr.f_branch:
+            return self._repredict(ctx, node)
+        return False
+
+    def _repredict(self, ctx: _Context, node: DynInstr) -> bool:
+        """Re-predict one CI branch during redispatch (Appendix A.3.2).
+
+        Returns True when the prediction was overturned (everything after
+        the branch is squashed and fetch redirects)."""
+        mode = self.config.repredict_mode
+        direction = node.current_taken
+        if mode is RepredictMode.NONE:
+            pass
+        elif node.completed:
+            direction = node.outcome_taken  # force the predictor
+        elif mode is RepredictMode.ORACLE:
+            entry = self._golden_entry_for(node)
+            if entry is not None:
+                direction = entry.taken
+        else:
+            direction = self.frontend.gshare.predict(node.pc, ctx.ghr)
+        node.history_used = ctx.ghr
+        if direction != node.current_taken:
+            self.stats.repredict_events += 1
+            entry = self._golden_entry_for(node)
+            if entry is not None and entry.taken == node.current_taken:
+                self.stats.repredict_overturned_correct += 1
+            self._overturn(ctx, node, direction)
+            return True
+        ctx.ghr = self.frontend.push_history(ctx.ghr, direction)
+        return False
+
+    def _overturn(self, ctx: _Context, node: DynInstr, direction: bool) -> None:
+        """A re-prediction changed a CI branch's direction: squash after it
+        and resume plain fetch down the new path."""
+        self._squash_after(node)
+        node.current_taken = direction
+        node.current_next_pc = node.instr.target if direction else node.pc + 1
+        node.predicted_taken = direction
+        self.frontier.fetch_pc = node.current_next_pc
+        self.frontier.ghr = self.frontend.push_history(ctx.ghr, direction)
+        self.frontier.rmap = ctx.rmap
+        self.frontier.segment = None
+        self.frontier.stalled = False
+        if ctx.branch is not None:
+            ctx.branch.recovering = False
+        if ctx in self.contexts:
+            self.contexts.remove(ctx)
+        self._prune_contexts()
+        if self.contexts:
+            # Some suspended context survived; it will republish the
+            # frontier state when it completes.
+            self._last_active = None
+
+    def _finish_redispatch(self, ctx: _Context) -> None:
+        if ctx.branch is not None:
+            ctx.branch.recovering = False
+        self.frontier.rmap = ctx.rmap
+        self.frontier.ghr = ctx.ghr
+        self.frontier.segment = None
+        if ctx in self.contexts:
+            self.contexts.remove(ctx)
+        # Suspended contexts rebuild their maps when reactivated.
+
+
+__all__ = ["RecoveryStage"]

@@ -1,0 +1,149 @@
+"""Retire stage: in-order commit, co-simulation, sequence repair.
+
+Retirement co-simulates against the golden architectural trace — any
+divergence is a simulator bug (:class:`~repro.errors.CosimulationError`
+with a machine snapshot), not a statistic.  The predictor trains at
+retirement (delayed update, Sec 4.1), Table 3's work-saved classes are
+counted here, and a commit-time next-PC check repairs mis-spliced
+heuristic reconvergences by flushing younger state.
+"""
+
+from __future__ import annotations
+
+from ...errors import CosimulationError
+from ...isa import Op
+from ..rob import DynInstr
+
+
+class RetireStage:
+    """Commit-side methods mixed into the Processor facade."""
+
+    def _retire_phase(self) -> None:
+        budget = self.config.width
+        retired_any = False
+        golden = self.golden.entries
+        n_golden = len(golden)
+        tail = self.rob.tail_sentinel
+        while budget > 0:
+            node = self.rob.head
+            if node is None:
+                break
+            if not node.completed or node.in_ready or node.inflight or node.recovering:
+                break
+            # Commit-time sequence check (real pipelines verify next-PC at
+            # retirement): if the window successor does not continue this
+            # instruction's committed path — possible after a mis-spliced
+            # heuristic reconvergence — flush younger state and refetch.
+            expected_next = (
+                node.current_next_pc if node.instr.f_control else node.pc + 1
+            )
+            succ = node.next
+            if succ is not tail and succ.pc != expected_next:
+                self._sequence_repair(node, expected_next)
+            entry = golden[self.retired_count] if self.retired_count < n_golden else None
+            if entry is None or entry.pc != node.pc:
+                raise CosimulationError(
+                    f"retired pc {node.pc} but golden expects "
+                    f"{entry.pc if entry else 'END'} at index {self.retired_count}",
+                    snapshot=self.snapshot(),
+                )
+            self._check_and_commit(node, entry)
+            if node.dest_arch is not None:
+                self.retired_map[node.dest_arch] = node.dest_tag
+            self.stats.issues_of_retired += node.issue_count
+            node.retired = True
+            retired_any = True
+            self._map_epoch += 1
+            self.lsq.drop(node)
+            self.rob.retire(node)
+            self.retired_count += 1
+            self.stats.retired += 1
+            budget -= 1
+            if node.instr.op is Op.HALT:
+                self.halted = True
+                break
+        if retired_any:
+            self.stats.stage_retire_cycles += 1
+
+    def _check_and_commit(self, node: DynInstr, entry) -> None:
+        instr = node.instr
+        if instr.f_store:
+            if node.addr != entry.addr or node.store_value != entry.store_value:
+                raise CosimulationError(
+                    f"store at pc {node.pc}: simulated {node.addr}={node.store_value}, "
+                    f"golden {entry.addr}={entry.store_value}",
+                    snapshot=self.snapshot(),
+                )
+            self.committed_mem[node.addr] = node.store_value
+        elif node.dest_tag is not None:
+            if node.value != entry.value:
+                raise CosimulationError(
+                    f"pc {node.pc} ({instr.op.name}): simulated value {node.value}, "
+                    f"golden {entry.value}",
+                    snapshot=self.snapshot(),
+                )
+        if instr.f_control:
+            if node.current_next_pc != entry.next_pc:
+                raise CosimulationError(
+                    f"control at pc {node.pc}: retiring down {node.current_next_pc}, "
+                    f"golden goes to {entry.next_pc}",
+                    snapshot=self.snapshot(),
+                )
+            # Train the predictor at retirement (delayed update, Sec 4.1).
+            self.frontend.update(
+                instr, node.pc, self.retire_ghr, entry.taken, entry.next_pc
+            )
+            if instr.f_branch or (instr.f_indirect and not instr.f_return):
+                self.stats.branch_events += 1
+                if node.predicted_next_pc != entry.next_pc:
+                    self.stats.branch_mispredictions_retired += 1
+            if instr.f_branch:
+                self.retire_ghr = self.frontend.push_history(
+                    self.retire_ghr, entry.taken
+                )
+        # Table 3 classification.
+        if node.fetched_under_mp:
+            self.stats.retired_fetch_saved += 1
+            if node.issued_under_mp and not node.reissued_after_mp:
+                self.stats.retired_work_saved += 1
+            elif node.issued_under_mp:
+                self.stats.retired_work_discarded += 1
+            else:
+                self.stats.retired_only_fetched += 1
+
+    def _sequence_repair(self, node: DynInstr, expected_next: int) -> None:
+        """Flush everything younger than the retiring instruction and
+        refetch from its committed successor."""
+        if self.config.strict_commit:
+            succ = node.next
+            raise CosimulationError(
+                f"commit-time next-PC check failed at pc {node.pc}: committed "
+                f"path continues at {expected_next} but the window holds pc "
+                f"{succ.pc if succ is not self.rob.tail_sentinel else 'END'} — "
+                "mis-spliced reconvergence under exact post-dominator info",
+                snapshot=self.snapshot(),
+            )
+        self.stats.sequence_repairs += 1
+        self._squash_after(node)
+        for ctx in self.contexts:
+            if ctx.branch is not None and ctx.branch.alive:
+                ctx.branch.recovering = False
+        self.contexts.clear()
+        node.recovering = False
+        self.frontier.fetch_pc = expected_next
+        ghr = self.retire_ghr
+        if node.instr.f_branch:
+            ghr = self.frontend.push_history(ghr, node.outcome_taken)
+        self.frontier.ghr = ghr
+        self.frontier.rmap = self._map_after(node)
+        self.frontier.segment = None
+        self.frontier.stalled = False
+        if node.ras_snapshot is not None:
+            self.frontend.ras.restore(node.ras_snapshot)
+            if node.instr.f_call:
+                self.frontend.ras.push(node.pc + 1)
+            elif node.instr.f_return:
+                self.frontend.ras.pop()
+
+
+__all__ = ["RetireStage"]

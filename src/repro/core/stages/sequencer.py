@@ -1,0 +1,273 @@
+"""Frontend/sequencer stage: fetch, rename, predict, context management.
+
+The sequencer owns the machine's notion of "where fetch goes next": the
+frontier context during normal operation, and a stack of restart /
+redispatch contexts while mispredictions are being serviced (paper
+Sections 3.2, 4.1; Appendix A.1).  Dispatch renames through the active
+context's map and inserts into the reorder buffer either at the tail
+(frontier) or into a restart gap.
+"""
+
+from __future__ import annotations
+
+from ...isa import Op
+from ..regfile import PhysReg
+from ..rob import DynInstr, Segment
+
+
+class _Context:
+    """A fetch context: the frontier, or one restart/redispatch sequence."""
+
+    __slots__ = (
+        "branch",
+        "reconv",
+        "insert_point",
+        "fetch_pc",
+        "ghr",
+        "rmap",
+        "segment",
+        "stalled",
+        "phase",  # "frontier" | "restart" | "redispatch"
+        "walk_cursor",
+        "walk_ras",
+        "start_cycle",
+        "inserted",
+    )
+
+    def __init__(self, fetch_pc: int, ghr: int, rmap: list):
+        self.branch: DynInstr | None = None
+        self.reconv: DynInstr | None = None
+        self.insert_point: DynInstr | None = None
+        self.fetch_pc = fetch_pc
+        self.ghr = ghr
+        self.rmap = rmap
+        self.segment: Segment | None = None
+        self.stalled = False
+        self.phase = "frontier"
+        self.walk_cursor: DynInstr | None = None
+        self.walk_ras: list[int] | None = None
+        self.start_cycle = 0
+        self.inserted = 0
+
+
+class SequencerStage:
+    """Fetch/dispatch methods mixed into the Processor facade."""
+
+    # ==================================================================
+    # dispatch
+
+    def _dispatch(self, ctx: _Context, pc: int) -> DynInstr | None:
+        """Fetch + rename one instruction into ``ctx``; returns the node,
+        or None when fetch must stall (HALT reached / out of range)."""
+        instr = self.program.fetch(pc)
+        if instr is None:
+            ctx.stalled = True
+            return None
+        node = DynInstr(self.uid_counter, pc, instr)
+        self.uid_counter += 1
+        node.dispatch_cycle = self.cycle
+
+        if ctx.phase == "frontier":
+            ctx.segment = self.rob.append(node, ctx.segment)
+        else:
+            ctx.segment = self.rob.insert_after(ctx.insert_point, node, ctx.segment)
+            ctx.insert_point = node
+            ctx.inserted += 1
+        self.stats.fetched += 1
+        self._map_epoch += 1
+
+        rmap = ctx.rmap
+        if instr.reads_rs1:
+            node.src1_tag = rmap[instr.rs1]
+            node.src1_tag.consumers.append(node)
+        if instr.reads_rs2:
+            node.src2_tag = rmap[instr.rs2]
+            node.src2_tag.consumers.append(node)
+        dest = instr.dest_reg
+        if dest is not None:
+            node.dest_arch = dest
+            node.prev_tag = rmap[dest]
+            tag = PhysReg(node)
+            rmap[dest] = tag
+            node.dest_tag = tag
+
+        self.lsq.add(node)
+
+        if instr.f_control:
+            self._predict_control(ctx, node)
+            ctx.fetch_pc = node.current_next_pc
+        else:
+            ctx.fetch_pc = pc + 1
+            if instr.op is Op.HALT:
+                ctx.stalled = True
+
+        if instr.f_branch or instr.f_indirect:
+            self._incomplete_branches[node.uid] = node
+            if self._oldest_gate_valid:
+                oldest = self._oldest_gate
+                if oldest is None or node.order < oldest.order:
+                    self._oldest_gate = node
+
+        # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch stage).
+        if self._operands_ready(node):
+            self._push_ready(node, self.cycle + 2)
+        return node
+
+    def _predict_control(self, ctx: _Context, node: DynInstr) -> None:
+        cfg = self.config
+        node.ras_snapshot = self.frontend.ras.snapshot()
+        history = ctx.ghr
+        if cfg.oracle_global_history and node.instr.f_branch:
+            entry_index = self._golden_index(node)
+            if 0 <= entry_index < len(self.golden.history_before):
+                history = self.golden.history_before[entry_index]
+        node.history_used = history
+        prediction = self.frontend.predict(node.instr, node.pc, history)
+        node.predicted_taken = prediction.taken
+        node.predicted_next_pc = prediction.next_pc
+        node.current_taken = prediction.taken
+        node.current_next_pc = prediction.next_pc
+        if node.instr.f_branch:
+            ctx.ghr = self.frontend.push_history(ctx.ghr, prediction.taken)
+            if node.instr.target <= node.pc:
+                # Backward branch: remember loop top / loop exit targets.
+                self._loop_targets.add(prediction.next_pc)
+        elif node.instr.f_return:
+            self._return_targets.add(prediction.next_pc)
+
+    # ==================================================================
+    # sequencer: restart fetch, redispatch walk, frontier fetch
+
+    def _sequencer_phase(self) -> None:
+        if self.contexts:
+            ctx = self._active_context()
+            if ctx is not self._last_active or self._needs_remap:
+                self._reactivate(ctx)
+                self._last_active = ctx
+                self._needs_remap = False
+            if ctx.phase == "restart":
+                self._restart_fetch(ctx)
+            if ctx is self._active_context() and ctx.phase == "redispatch":
+                self._redispatch_walk(ctx)
+            return
+        self._last_active = None
+        self._frontier_fetch()
+
+    def _reactivate(self, ctx: _Context) -> None:
+        """A context gained control of the sequencer: rebuild its rename
+        map and global-history register, since recoveries serviced in
+        between may have squashed, remapped or re-predicted instructions
+        its captured state depends on."""
+        if ctx.phase == "restart":
+            ctx.rmap = self._map_after(ctx.insert_point)
+            ctx.ghr = self._history_up_to(ctx, ctx.insert_point, inclusive=True)
+        elif ctx.phase == "redispatch":
+            cursor = ctx.walk_cursor
+            while cursor is not None and not cursor.alive and cursor is not self.rob.tail_sentinel:
+                cursor = cursor.next
+            if cursor is None or cursor is self.rob.tail_sentinel:
+                ctx.walk_cursor = self.rob.tail_sentinel
+                tail = self.rob.tail
+                ctx.rmap = self._map_after(
+                    tail if tail is not None else self.rob.head_sentinel
+                )
+            else:
+                ctx.walk_cursor = cursor
+                ctx.rmap = self._map_after(cursor.prev)
+                ctx.ghr = self._history_up_to(ctx, cursor, inclusive=False)
+
+    def _frontier_fetch(self) -> None:
+        ctx = self.frontier
+        if ctx.stalled:
+            return
+        budget = self.config.width
+        fetched_before = self.stats.fetched
+        while budget > 0 and not self.rob.full and not ctx.stalled:
+            if self._dispatch(ctx, ctx.fetch_pc) is None:
+                break
+            budget -= 1
+        if self.stats.fetched != fetched_before:
+            self.stats.stage_fetch_cycles += 1
+
+    def _restart_fetch(self, ctx: _Context) -> None:
+        if ctx.reconv is not None and not ctx.reconv.alive:
+            ctx.reconv = None
+        if ctx.reconv is None:
+            # The reconvergent point is gone: this restart is simply the
+            # window tail, so it continues as the frontier.
+            self._context_to_frontier(ctx)
+            return
+        budget = self.config.width
+        while budget > 0:
+            if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
+                self._finish_restart(ctx)
+                return
+            if ctx.stalled:
+                self._finish_restart(ctx)  # ran off the program: give up
+                return
+            if self.rob.full:
+                if not self._squash_youngest_ci(ctx):
+                    return  # cannot make room this cycle
+                continue
+            if self._dispatch(ctx, ctx.fetch_pc) is None:
+                self._finish_restart(ctx)
+                return
+            budget -= 1
+        if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
+            self._finish_restart(ctx)
+
+    def _squash_youngest_ci(self, ctx: _Context) -> bool:
+        """Make room for a restart by squashing the youngest instruction
+        (paper Sec 3.2.2).  Returns False if nothing can be squashed.
+
+        The frontier is backed up to the victim so it is refetched after
+        the restart/redispatch completes (whose final walk map becomes
+        the frontier map, keeping renaming consistent)."""
+        victim = self.rob.tail
+        if victim is None:
+            return False
+        if victim is ctx.insert_point or victim is ctx.branch:
+            return False  # would eat the restart being serviced
+        self.stats.squashed_ci_for_restart += 1
+        # Back the frontier up so the victim is refetched later; GHR, RAS
+        # and the rename map are all regenerated by the redispatch walk,
+        # which ends exactly at the new tail.
+        self.frontier.fetch_pc = victim.pc
+        self.frontier.stalled = False
+        self.frontier.segment = None
+        self._squash_node(victim)
+        self._prune_contexts()
+        if ctx not in self.contexts or ctx.reconv is None:
+            return False  # the restart itself was invalidated by the squash
+        return True
+
+    def _context_to_frontier(self, ctx: _Context) -> None:
+        if ctx.branch is not None:
+            ctx.branch.recovering = False
+        self.frontier.fetch_pc = ctx.fetch_pc
+        self.frontier.ghr = ctx.ghr
+        # The context's captured map may reference instructions squashed
+        # since it was built; the live window tail is the truth.
+        tail = self.rob.tail
+        self.frontier.rmap = self._map_after(
+            tail if tail is not None else self.rob.head_sentinel
+        )
+        self.frontier.segment = ctx.segment
+        self.frontier.stalled = ctx.stalled
+        self.contexts.remove(ctx)
+
+    def _finish_restart(self, ctx: _Context) -> None:
+        self.stats.restart_count += 1
+        self.stats.restart_cycles_total += self.cycle - ctx.start_cycle + 1
+        self.stats.inserted_cd_instructions += ctx.inserted
+        if ctx.reconv is None or not ctx.reconv.alive:
+            self._context_to_frontier(ctx)
+            return
+        ctx.phase = "redispatch"
+        ctx.walk_cursor = ctx.reconv
+        ctx.walk_ras = None
+        if self.config.instant_redispatch:
+            self._redispatch_walk(ctx, instant=True)
+
+
+__all__ = ["SequencerStage", "_Context"]

@@ -56,7 +56,12 @@ from .runner import config_hash
 #: new version simply misses old files instead of mis-reading them.
 #: v2: Instruction grew precomputed decoded-metadata slots — pickles
 #: from v1 would unpickle with those slots unset.
-CACHE_VERSION = 2
+#: v3: the spec-engine row schema epoch (CellRow payloads, checkpoint
+#: version 2).  Cached artifacts themselves are unchanged, but the bump
+#: keeps shared study cache dirs aligned with the new checkpoint layout
+#: so a mixed-version resume can never pair old rows with new artifacts;
+#: old entries are simply ignored and re-derived once.
+CACHE_VERSION = 3
 
 DEFAULT_MAX_ENTRIES = 32
 

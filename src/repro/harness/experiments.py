@@ -1,84 +1,69 @@
-"""Experiment runners: one function per paper table/figure.
+"""Legacy experiment entrypoints: thin shims over the spec registry.
 
-Every runner takes a ``scale`` (workload size multiplier) so the full
-study can be reproduced at laptop scale; the benchmark suite under
-``benchmarks/`` calls these with small scales and prints the same rows
-the paper reports.  Results are plain dicts, easy to format or assert
-against.
+Historically this module held one hand-rolled loop per paper table and
+figure.  Those artifacts are now declarative entries in
+:mod:`repro.harness.specs`, executed by the generic engine in
+:mod:`repro.harness.spec`; every ``run_*`` function below delegates to
+:func:`~repro.harness.spec.run_spec` and returns byte-identical rows, so
+existing callers (benchmarks, examples, tests) are unaffected.
+
+The fault-isolated study path lives here too: :func:`run_study` runs a
+cross-product of registered experiments × workloads, one
+:class:`~repro.harness.spec.CellRow` per cell, with per-cell timeout,
+retry, checkpoint resume and optional process fan-out
+(:mod:`repro.harness.parallel`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from ..bpred import TFRCollector
-from ..bpred.evaluate import measure_prediction
-from ..cfg import ReconvergenceTable
-from ..core import (
-    CompletionModel,
-    CoreConfig,
-    CoreStats,
-    GoldenTrace,
-    Preemption,
-    Processor,
-    ReconvPolicy,
-    RepredictMode,
+from ..core import CoreConfig, CoreStats, Processor
+from ..errors import ConfigError
+from ..ideal.models import IdealModel
+from ..machines import HEURISTIC_POLICIES, detailed_machines
+from ..workloads import WORKLOAD_NAMES
+from .spec import (
+    CellRow,
+    WorkloadBundle,
+    derive,
+    load_bundle,
+    percent_improvement as _percent_improvement,  # noqa: F401  (legacy name)
+    run_spec,
+    run_spec_row,
+    runnable_experiments,
 )
-from ..functional import run as run_functional
-from ..ideal.models import IdealConfig, IdealModel
-from ..ideal.scheduler import simulate as simulate_ideal
-from ..ideal.tracegen import AnnotatedTrace, annotate
-from ..workloads import WORKLOAD_NAMES, build_workload
+from .specs import COMPLETION_CONFIGS, DETAILED_WINDOWS, IDEAL_WINDOWS
 
-DETAILED_WINDOWS = (128, 256, 512)
-IDEAL_WINDOWS = (64, 128, 256, 512)
-
-
-@dataclass
-class WorkloadBundle:
-    """Shared per-workload artifacts reused across configurations."""
-
-    name: str
-    scale: float
-    program: object
-    golden: GoldenTrace
-    reconv: ReconvergenceTable
-    _annotated: AnnotatedTrace | None = field(default=None, repr=False)
-
-    def annotated(self) -> AnnotatedTrace:
-        if self._annotated is None:
-            self._annotated = annotate(self.program, reconv=self.reconv)
-        return self._annotated
-
-
-def load_bundle(name: str, scale: float, cache=None) -> WorkloadBundle:
-    """Assemble + trace one workload, served from the artifact cache.
-
-    The program, golden trace and reconvergence table depend only on
-    (name, scale), so every experiment in a study shares one derivation
-    per process — see :mod:`repro.harness.cache`.  Pass ``cache=False``
-    to force a fresh, private derivation (needed when the caller will
-    mutate the artifacts, e.g. fault injection).
-    """
-    if cache is False:
-        workload = build_workload(name, scale)
-        return WorkloadBundle(
-            name=name,
-            scale=scale,
-            program=workload.program,
-            golden=GoldenTrace(workload.program),
-            reconv=ReconvergenceTable(workload.program),
-        )
-    from .cache import get_default_cache
-
-    artifacts = (cache or get_default_cache()).artifacts(name, scale)
-    return WorkloadBundle(
-        name=name,
-        scale=scale,
-        program=artifacts.program,
-        golden=artifacts.golden,
-        reconv=artifacts.reconv,
-    )
+__all__ = [
+    "COMPLETION_CONFIGS",
+    "DETAILED_WINDOWS",
+    "EXPERIMENTS",
+    "HEURISTIC_POLICIES",
+    "IDEAL_WINDOWS",
+    "WorkloadBundle",
+    "assemble_study",
+    "load_bundle",
+    "load_bundles",
+    "parse_only",
+    "run_core",
+    "run_figure3",
+    "run_figure5",
+    "run_figure6",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure17",
+    "run_study",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "select_study_cells",
+    "study_cells",
+    "validate_experiments",
+]
 
 
 def load_bundles(scale: float, names=WORKLOAD_NAMES) -> list[WorkloadBundle]:
@@ -90,28 +75,17 @@ def run_core(bundle: WorkloadBundle, config: CoreConfig) -> CoreStats:
     return Processor(bundle.program, config, bundle.golden, bundle.reconv).run()
 
 
+def _detailed_machines() -> dict[str, CoreConfig]:
+    """BASE / CI / CI-I configs (now sourced from the machine registry)."""
+    return detailed_machines()
+
+
 # ----------------------------------------------------------------------
-# Table 1 — benchmark information
+# Per-artifact shims (signatures preserved; rows byte-identical)
 
 
 def run_table1(scale: float = 1.0, names=WORKLOAD_NAMES) -> list[dict]:
-    rows = []
-    for name in names:
-        workload = build_workload(name, scale)
-        trace = run_functional(workload.program)
-        report = measure_prediction(trace)
-        rows.append(
-            {
-                "benchmark": name,
-                "instructions": len(trace),
-                "misprediction_rate": report.misprediction_rate,
-            }
-        )
-    return rows
-
-
-# ----------------------------------------------------------------------
-# Figure 3 — the six idealized models vs window size
+    return run_spec("table1", scale=scale, names=names)
 
 
 def run_figure3(
@@ -121,351 +95,171 @@ def run_figure3(
     names=WORKLOAD_NAMES,
 ) -> dict:
     """IPC[workload][model][window] for the Section 2 idealized study."""
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        trace = bundle.annotated()
-        per_model: dict = {}
-        for model in models:
-            per_model[model.value] = {
-                window: simulate_ideal(
-                    trace, model, IdealConfig(window_size=window)
-                ).ipc
-                for window in windows
-            }
-        out[name] = per_model
-    return out
-
-
-# ----------------------------------------------------------------------
-# Figures 5 & 6 — detailed BASE / CI / CI-I
-
-
-def _detailed_machines() -> dict[str, CoreConfig]:
-    return {
-        "BASE": CoreConfig(reconv_policy=ReconvPolicy.NONE),
-        "CI": CoreConfig(reconv_policy=ReconvPolicy.POSTDOM),
-        "CI-I": CoreConfig(
-            reconv_policy=ReconvPolicy.POSTDOM, instant_redispatch=True
-        ),
-    }
+    return run_spec(
+        "figure3",
+        scale=scale,
+        names=names,
+        windows=tuple(windows),
+        models=tuple(models),
+    )
 
 
 def run_figure5(
     scale: float = 0.12, windows=DETAILED_WINDOWS, names=WORKLOAD_NAMES
 ) -> dict:
     """IPC[workload][machine][window] for BASE, CI and CI-I."""
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        per_machine: dict = {}
-        for machine, base_cfg in _detailed_machines().items():
-            per_machine[machine] = {}
-            for window in windows:
-                cfg = CoreConfig(**{**base_cfg.__dict__, "window_size": window})
-                per_machine[machine][window] = run_core(bundle, cfg).ipc
-        out[name] = per_machine
-    return out
-
-
-def _percent_improvement(value: float, base: float) -> float:
-    """Percent gain over a baseline; 0.0 when the baseline retired
-    nothing (a degraded BASE cell must not take down derived figures)."""
-    if base == 0:
-        return 0.0
-    return 100.0 * (value / base - 1.0)
+    return run_spec("figure5", scale=scale, names=names, windows=tuple(windows))
 
 
 def run_figure6(figure5: dict) -> dict:
     """Percent IPC improvement of CI over BASE, from figure-5 data."""
-    out: dict = {}
-    for name, machines in figure5.items():
-        out[name] = {
-            window: _percent_improvement(
-                machines["CI"][window], machines["BASE"][window]
-            )
-            for window in machines["BASE"]
-        }
-    return out
+    return derive("figure6", figure5)
 
 
-# ----------------------------------------------------------------------
-# Tables 2, 3, 4 — restart statistics, work saved, reissue causes
+def run_table2(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> list[dict]:
+    return run_spec("table2", scale=scale, names=names, window=window)
 
 
-def run_table2(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
-    rows = []
-    for name in names:
-        bundle = load_bundle(name, scale)
-        stats = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
-        )
-        rows.append(
-            {
-                "benchmark": name,
-                "pct_reconverge": 100.0 * stats.reconverge_fraction,
-                "avg_removed": stats.avg_removed,
-                "avg_inserted": stats.avg_inserted,
-                "avg_ci": stats.avg_ci_preserved,
-                "avg_ci_renamed": stats.avg_ci_rename_repairs,
-            }
-        )
-    return rows
+def run_table3(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> list[dict]:
+    return run_spec("table3", scale=scale, names=names, window=window)
 
 
-def run_table3(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
-    rows = []
-    for name in names:
-        bundle = load_bundle(name, scale)
-        stats = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
-        )
-        rows.append({"benchmark": name, **stats.table3_fractions()})
-    return rows
+def run_table4(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> list[dict]:
+    return run_spec("table4", scale=scale, names=names, window=window)
 
 
-def run_table4(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> list[dict]:
-    rows = []
-    for name in names:
-        bundle = load_bundle(name, scale)
-        base = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
-        )
-        ci = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.POSTDOM)
-        )
-        rows.append(
-            {
-                "benchmark": name,
-                "noci_total": base.issues_per_retired,
-                "noci_memory": base.reissues_memory / max(1, base.retired),
-                "ci_total": ci.issues_per_retired,
-                "ci_memory": ci.reissues_memory / max(1, ci.retired),
-                "ci_register": ci.reissues_register / max(1, ci.retired),
-            }
-        )
-    return rows
+def run_figure8(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
+    return run_spec("figure8", scale=scale, names=names, window=window)
 
 
-# ----------------------------------------------------------------------
-# Figure 8 — simple vs optimal preemption
-
-
-def run_figure8(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        out[name] = {}
-        for label, preemption in (
-            ("simple", Preemption.SIMPLE),
-            ("optimal", Preemption.OPTIMAL),
-        ):
-            cfg = CoreConfig(
-                window_size=window,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                preemption=preemption,
-            )
-            out[name][label] = run_core(bundle, cfg).ipc
-    return out
-
-
-# ----------------------------------------------------------------------
-# Figure 9 — branch completion models and false mispredictions
-
-
-COMPLETION_CONFIGS = (
-    ("non-spec", CompletionModel.NON_SPEC, False),
-    ("spec-D", CompletionModel.SPEC_D, False),
-    ("spec-D-HFM", CompletionModel.SPEC_D, True),
-    ("spec-C", CompletionModel.SPEC_C, False),
-    ("spec-C-HFM", CompletionModel.SPEC_C, True),
-    ("spec", CompletionModel.SPEC, False),
-    ("spec-HFM", CompletionModel.SPEC, True),
-)
-
-
-def run_figure9(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        out[name] = {}
-        for label, model, hfm in COMPLETION_CONFIGS:
-            cfg = CoreConfig(
-                window_size=window,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                completion_model=model,
-                hide_false_mispredictions=hfm,
-            )
-            out[name][label] = run_core(bundle, cfg).ipc
-    return out
-
-
-# ----------------------------------------------------------------------
-# Figure 10 — TFR schemes for identifying false mispredictions
+def run_figure9(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
+    return run_spec("figure9", scale=scale, names=names, window=window)
 
 
 def run_figure10(
     scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
 ) -> dict:
     """Coverage curves per workload and scheme (static / dynamic pc / xor)."""
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        collectors = (
-            TFRCollector("static"),
-            TFRCollector("dynamic_pc"),
-            TFRCollector("dynamic_xor"),
-        )
-        cfg = CoreConfig(
-            window_size=window,
-            reconv_policy=ReconvPolicy.POSTDOM,
-            completion_model=CompletionModel.SPEC,
-        )
-        Processor(
-            bundle.program, cfg, bundle.golden, bundle.reconv, tfr_collectors=collectors
-        ).run()
-        out[name] = {c.scheme: c.curve() for c in collectors}
-        out[name]["counts"] = {
-            c.scheme: (c.stats.total_true, c.stats.total_false) for c in collectors
-        }
-    return out
+    return run_spec("figure10", scale=scale, names=names, window=window)
 
 
-# ----------------------------------------------------------------------
-# Figure 12 — oracle global branch history
+def run_figure12(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
+    return run_spec("figure12", scale=scale, names=names, window=window)
 
 
-def run_figure12(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        out[name] = {}
-        for label, oracle in (("timing", False), ("oracle-history", True)):
-            cfg = CoreConfig(
-                window_size=window,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                oracle_global_history=oracle,
-            )
-            out[name][label] = run_core(bundle, cfg).ipc
-    return out
-
-
-# ----------------------------------------------------------------------
-# Figure 13 — re-predict sequences
-
-
-def run_figure13(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        out[name] = {
-            "base": run_core(
-                bundle,
-                CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE),
-            ).ipc
-        }
-        for label, mode in (
-            ("CI-NR", RepredictMode.NONE),
-            ("CI", RepredictMode.HEURISTIC),
-            ("CI-OR", RepredictMode.ORACLE),
-        ):
-            cfg = CoreConfig(
-                window_size=window,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                repredict_mode=mode,
-            )
-            out[name][label] = run_core(bundle, cfg).ipc
-    return out
-
-
-# ----------------------------------------------------------------------
-# Figure 14 — segmented reorder buffers
+def run_figure13(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
+    return run_spec("figure13", scale=scale, names=names, window=window)
 
 
 def run_figure14(
     scale: float = 0.12, window: int = 256, segments=(1, 4, 16), names=WORKLOAD_NAMES
 ) -> dict:
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        base = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
-        ).ipc
-        out[name] = {"base": base}
-        for seg in segments:
-            cfg = CoreConfig(
-                window_size=window,
-                reconv_policy=ReconvPolicy.POSTDOM,
-                segment_size=seg,
-            )
-            out[name][f"seg{seg}"] = run_core(bundle, cfg).ipc
-    return out
+    return run_spec(
+        "figure14",
+        scale=scale,
+        names=names,
+        window=window,
+        segments=tuple(segments),
+    )
 
 
-# ----------------------------------------------------------------------
-# Figure 17 — hardware reconvergence heuristics
-
-
-HEURISTIC_POLICIES = (
-    ReconvPolicy.RETURN,
-    ReconvPolicy.LOOP,
-    ReconvPolicy.LTB,
-    ReconvPolicy.RETURN_LOOP,
-    ReconvPolicy.RETURN_LTB,
-    ReconvPolicy.LOOP_LTB,
-    ReconvPolicy.RETURN_LOOP_LTB,
-    ReconvPolicy.POSTDOM,
-)
-
-
-def run_figure17(scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES) -> dict:
+def run_figure17(
+    scale: float = 0.12, window: int = 256, names=WORKLOAD_NAMES
+) -> dict:
     """Percent IPC improvement over BASE per reconvergence policy."""
-    out: dict = {}
-    for name in names:
-        bundle = load_bundle(name, scale)
-        base = run_core(
-            bundle, CoreConfig(window_size=window, reconv_policy=ReconvPolicy.NONE)
-        ).ipc
-        out[name] = {}
-        for policy in HEURISTIC_POLICIES:
-            cfg = CoreConfig(window_size=window, reconv_policy=policy)
-            ipc = run_core(bundle, cfg).ipc
-            out[name][policy.value] = _percent_improvement(ipc, base)
-    return out
+    return run_spec("figure17", scale=scale, names=names, window=window)
 
 
 # ----------------------------------------------------------------------
 # Fault-isolated full study (robustness layer)
 
-#: every independently runnable experiment (figure 6 derives from 5)
+#: every independently runnable experiment (figure 6 derives from 5),
+#: in registry order — kept as a name->callable map for compatibility
 EXPERIMENTS: dict = {
-    "table1": run_table1,
-    "figure3": run_figure3,
-    "figure5": run_figure5,
-    "table2": run_table2,
-    "table3": run_table3,
-    "table4": run_table4,
-    "figure8": run_figure8,
-    "figure9": run_figure9,
-    "figure10": run_figure10,
-    "figure12": run_figure12,
-    "figure13": run_figure13,
-    "figure14": run_figure14,
-    "figure17": run_figure17,
+    name: globals()[f"run_{name}"] for name in runnable_experiments()
 }
 
 
 def validate_experiments(experiments=None) -> list:
-    """Resolve an experiment selection, rejecting unknown names."""
-    from ..errors import ConfigError
-
-    chosen = list(experiments) if experiments is not None else list(EXPERIMENTS)
-    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    """Resolve an experiment selection against the spec registry."""
+    runnable = runnable_experiments()
+    chosen = list(experiments) if experiments is not None else list(runnable)
+    unknown = [e for e in chosen if e not in runnable]
     if unknown:
         raise ConfigError(
-            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
+            f"unknown experiments {unknown!r}; choose from {sorted(runnable)}"
         )
     return chosen
+
+
+def parse_only(only) -> list[tuple[str, str | None]]:
+    """Normalize ``EXPERIMENT:WORKLOAD`` selectors into pairs.
+
+    Accepts strings (``"figure5:vortex"``, or bare ``"figure5"`` for
+    every workload of one experiment) and ``(experiment, workload)``
+    tuples (``workload=None`` meaning all).  Experiment names are
+    validated against the registry here; workload names are validated
+    against the enumerated grid by :func:`select_study_cells`.
+    """
+    runnable = runnable_experiments()
+    pairs: list[tuple[str, str | None]] = []
+    for item in only:
+        if isinstance(item, str):
+            exp, _, workload = item.partition(":")
+            pairs.append((exp, workload or None))
+        else:
+            exp, workload = item
+            pairs.append((exp, workload))
+        if pairs[-1][0] not in runnable:
+            raise ConfigError(
+                f"selector {item!r}: unknown experiment {pairs[-1][0]!r}; "
+                f"choose from {sorted(runnable)}"
+            )
+    return pairs
+
+
+def select_study_cells(cells, only):
+    """Filter an enumerated study grid by ``EXPERIMENT:WORKLOAD`` pairs.
+
+    Every selector must match at least one enumerated cell — a selector
+    naming a workload outside the study's ``names`` is a configuration
+    error, not a silent no-op.
+    """
+    if only is None:
+        return list(cells)
+    pairs = parse_only(only)
+    selected = []
+    matched = [False] * len(pairs)
+    for cell in cells:
+        hit = False
+        for i, (exp, workload) in enumerate(pairs):
+            if cell.experiment == exp and workload in (None, cell.workload):
+                matched[i] = True
+                hit = True
+        if hit:
+            selected.append(cell)
+    missed = [pairs[i] for i, ok in enumerate(matched) if not ok]
+    if missed:
+        raise ConfigError(
+            f"selectors matched no study cells: "
+            f"{[f'{e}:{w}' if w else e for e, w in missed]!r} "
+            "(is the workload in this study's names?)"
+        )
+    return selected
 
 
 def study_cells(chosen, names, scale: float, experiment_kwargs: dict):
@@ -486,14 +280,27 @@ def study_cells(chosen, names, scale: float, experiment_kwargs: dict):
     return cells
 
 
-def unwrap_row(workload: str, row):
-    """Per-workload runners return {name: data} or [row]; unwrap to the
-    single workload's data for a uniform table."""
-    if isinstance(row, dict) and set(row) == {workload}:
-        return row[workload]
-    if isinstance(row, list) and len(row) == 1:
-        return row[0]
-    return row
+def assemble_study(chosen, cells, outcomes) -> dict:
+    """Fold per-cell outcomes into the study result payload.
+
+    The serial and parallel paths share this assembly, so both produce
+    byte-identical rows: successful cells carry a
+    :class:`~repro.harness.spec.CellRow` payload whose ``data`` becomes
+    the row, failed cells degrade to their error annotation.
+    """
+    results: dict = {exp: {} for exp in chosen}
+    failures: list = []
+    resumed = 0
+    for cell in cells:
+        result = outcomes[cell.key]
+        resumed += result.resumed
+        if result.ok:
+            row = CellRow.from_payload(result.value).data
+        else:
+            failures.append(result)
+            row = result.as_row()
+        results[cell.experiment][cell.workload] = row
+    return {"results": results, "failures": failures, "resumed": resumed}
 
 
 def run_study(
@@ -505,11 +312,13 @@ def run_study(
     jobs: "int | str | None" = None,
     cache_dir=None,
     timeout_seconds: float | None = None,
+    only=None,
     **experiment_kwargs,
 ) -> dict:
     """Run a cross-product of experiments × workloads fault-isolated.
 
-    Each (experiment, workload) pair runs as one cell through a
+    Each (experiment, workload) pair runs as one
+    :func:`~repro.harness.spec.run_spec_row` cell through a
     :class:`~repro.harness.runner.CellRunner`: a crash or hang in one
     cell becomes an error-annotated row instead of killing the study,
     and — when ``checkpoint_path`` is given — completed cells are
@@ -520,6 +329,8 @@ def run_study(
     :func:`repro.harness.parallel.run_study_parallel`; results are
     byte-identical to the serial run.  A caller-supplied ``runner``
     forces the serial path (its policy cannot cross process boundaries).
+    ``only`` restricts the grid to ``EXPERIMENT:WORKLOAD`` selectors
+    (see :func:`select_study_cells`) for partial reruns.
 
     Returns ``{"results": {experiment: {workload: row-or-error}},
     "failures": [CellResult...], "resumed": int}``.
@@ -539,6 +350,7 @@ def run_study(
                 jobs=jobs,
                 cache_dir=cache_dir,
                 timeout_seconds=timeout_seconds,
+                only=only,
                 **experiment_kwargs,
             )
         runner = CellRunner(
@@ -547,22 +359,18 @@ def run_study(
             )
         )
 
-    results: dict = {exp: {} for exp in chosen}
-    failures: list = []
-    resumed = 0
-    for cell in study_cells(chosen, names, scale, experiment_kwargs):
-        fn = EXPERIMENTS[cell.experiment]
+    cells = select_study_cells(
+        study_cells(chosen, names, scale, experiment_kwargs), only
+    )
+    if only is not None:
+        chosen = [e for e in chosen if any(c.experiment == e for c in cells)]
+    outcomes = {}
+    for cell in cells:
         result = runner.run_cell(
             cell,
-            lambda fn=fn, name=cell.workload: fn(
-                scale, names=(name,), **experiment_kwargs
-            ),
+            lambda exp=cell.experiment, name=cell.workload: run_spec_row(
+                exp, name, scale=scale, **experiment_kwargs
+            ).to_payload(),
         )
-        resumed += result.resumed
-        if not result.ok:
-            failures.append(result)
-        row = result.as_row()
-        if result.ok:
-            row = unwrap_row(cell.workload, row)
-        results[cell.experiment][cell.workload] = row
-    return {"results": results, "failures": failures, "resumed": resumed}
+        outcomes[cell.key] = result
+    return assemble_study(chosen, cells, outcomes)

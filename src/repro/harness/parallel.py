@@ -106,17 +106,21 @@ def _run_cell(
 
     Returns a plain dict (picklable) mirroring
     :class:`~repro.harness.runner.CellResult`; never raises for cell
-    failures — the worker-side :class:`CellRunner` degrades them.
+    failures — the worker-side :class:`CellRunner` degrades them.  The
+    cell body is the same :func:`~repro.harness.spec.run_spec_row` the
+    serial path runs, so rows are byte-identical.
     """
-    from .experiments import EXPERIMENTS
+    from .spec import run_spec_row
 
     cell = Cell(
         experiment=experiment, workload=workload, config_hash=knob_hash, scale=scale
     )
     runner = CellRunner(RunnerConfig(checkpoint_path=None, **runner_knobs))
-    fn = EXPERIMENTS[experiment]
     result = runner.run_cell(
-        cell, lambda: fn(scale, names=(workload,), **experiment_kwargs)
+        cell,
+        lambda: run_spec_row(
+            experiment, workload, scale=scale, **experiment_kwargs
+        ).to_payload(),
     )
     return {
         "key": result.key,
@@ -151,6 +155,7 @@ def run_study_parallel(
     cache_dir=None,
     timeout_seconds: float | None = None,
     max_attempts: int = 3,
+    only=None,
     **experiment_kwargs,
 ) -> dict:
     """Parallel twin of :func:`repro.harness.experiments.run_study`.
@@ -158,10 +163,17 @@ def run_study_parallel(
     Same contract and same (byte-identical) rows; adds ``"jobs"`` to the
     returned dict.  When the job count resolves to 1 (explicitly, or
     ``"auto"`` on a single-CPU host) the grid runs through the in-process
-    serial runner instead of a one-worker pool.
+    serial runner instead of a one-worker pool.  ``only`` restricts the
+    grid to ``EXPERIMENT:WORKLOAD`` selectors for partial reruns.
     """
     from .cache import ArtifactCache
-    from .experiments import run_study, study_cells, unwrap_row, validate_experiments
+    from .experiments import (
+        assemble_study,
+        run_study,
+        select_study_cells,
+        study_cells,
+        validate_experiments,
+    )
 
     chosen = validate_experiments(experiments)
     n_jobs = resolve_jobs(jobs)
@@ -182,13 +194,18 @@ def run_study_parallel(
             scale=scale,
             names=names,
             runner=serial_runner,
+            only=only,
             **experiment_kwargs,
         )
         out["jobs"] = 1
         return out
     store = CheckpointStore(checkpoint_path) if checkpoint_path is not None else None
 
-    cells = study_cells(chosen, names, scale, experiment_kwargs)
+    cells = select_study_cells(
+        study_cells(chosen, names, scale, experiment_kwargs), only
+    )
+    if only is not None:
+        chosen = [e for e in chosen if any(c.experiment == e for c in cells)]
     outcomes: dict[str, CellResult] = {}
     pending: list[Cell] = []
     for cell in cells:
@@ -254,24 +271,9 @@ def run_study_parallel(
             if tmpdir is not None:
                 tmpdir.cleanup()
 
-    results: dict = {exp: {} for exp in chosen}
-    failures: list = []
-    resumed = 0
-    for cell in cells:
-        result = outcomes[cell.key]
-        resumed += result.resumed
-        if not result.ok:
-            failures.append(result)
-        row = result.as_row()
-        if result.ok:
-            row = unwrap_row(cell.workload, row)
-        results[cell.experiment][cell.workload] = row
-    return {
-        "results": results,
-        "failures": failures,
-        "resumed": resumed,
-        "jobs": n_jobs,
-    }
+    out = assemble_study(chosen, cells, outcomes)
+    out["jobs"] = n_jobs
+    return out
 
 
 __all__ = ["resolve_jobs", "run_study_parallel"]

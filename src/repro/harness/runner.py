@@ -18,8 +18,9 @@ loses every completed result.  This module executes each cell through a
   scale); re-running an interrupted study skips them.
 
 Checkpointed values round-trip through JSON, so cell functions must
-return JSON-serialisable data (all the ``repro.harness.experiments``
-runners do; note JSON turns integer dict keys into strings).
+return JSON-serialisable data (the spec engine's
+:meth:`~repro.harness.spec.CellRow.to_payload` dicts are; note JSON
+turns integer dict keys into strings).
 """
 
 from __future__ import annotations
@@ -38,7 +39,13 @@ from typing import Any, Callable
 
 from ..errors import CellTimeout, CheckpointError, TransientError
 
-CHECKPOINT_VERSION = 1
+#: Version 1 stored each experiment runner's raw return value
+#: (``{workload: data}`` dicts / one-row lists).  Version 2 stores the
+#: uniform ``CellRow`` payload (``{"experiment", "workload", "data"}``)
+#: produced by :func:`repro.harness.spec.run_spec_row`.  Old checkpoint
+#: files are rejected with a :class:`~repro.errors.CheckpointError`
+#: telling the user to delete them; cells then re-run from scratch.
+CHECKPOINT_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:
