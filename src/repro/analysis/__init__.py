@@ -27,6 +27,7 @@ from .diagnostics import (
     Suppression,
     apply_suppressions,
 )
+from .invariants import check_core_stats, check_ideal_result, check_stats
 from .lint import check_program, lint_program
 from .reconv_check import (
     HEURISTICS,
@@ -49,7 +50,10 @@ __all__ = [
     "Severity",
     "Suppression",
     "apply_suppressions",
+    "check_core_stats",
+    "check_ideal_result",
     "check_program",
+    "check_stats",
     "dead_writes",
     "heuristic_candidates",
     "instruction_uses_of_undefined",

@@ -178,8 +178,9 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         """Capture machine state for failure diagnostics."""
         head = self.rob.head
         if head is None:
-            head_pc, head_status = None, "empty"
+            head_pc, head_status, head_age = None, "empty", None
         else:
+            head_age = self.cycle - head.dispatch_cycle
             flags = []
             flags.append("completed" if head.completed else "incomplete")
             if head.in_ready:
@@ -189,6 +190,11 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
             if head.recovering:
                 flags.append("recovering")
             head_pc, head_status = head.pc, " ".join(flags)
+        last_retired_pc = (
+            self.golden.entries[self.retired_count - 1].pc
+            if 0 < self.retired_count <= len(self.golden.entries)
+            else None
+        )
         return MachineSnapshot(
             cycle=self.cycle,
             fetch_pc=self.frontier.fetch_pc,
@@ -201,6 +207,8 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
             head_pc=head_pc,
             head_status=head_status,
             incomplete_branches=len(self._incomplete_branches),
+            last_retired_pc=last_retired_pc,
+            oldest_rob_age=head_age,
         )
 
     def _active_context(self) -> _Context:

@@ -116,6 +116,14 @@ class MachineSnapshot:
     head_pc: int | None
     head_status: str
     incomplete_branches: int
+    #: PC of the last instruction that actually retired (None = none yet);
+    #: a fuzz-found livelock is triaged by where progress stopped, which
+    #: the retirement *count* alone cannot say.
+    last_retired_pc: int | None = None
+    #: cycles the oldest ROB entry has sat in the window (None = empty);
+    #: distinguishes "head wedged for 50k cycles" from churn livelocks
+    #: where the head keeps changing but nothing retires.
+    oldest_rob_age: int | None = None
 
     @property
     def last_retired_seq(self) -> int:
@@ -133,14 +141,16 @@ class MachineSnapshot:
             if self.head_pc is not None
             else "empty"
         )
+        last_pc = "none" if self.last_retired_pc is None else str(self.last_retired_pc)
+        age = "" if self.oldest_rob_age is None else f" head_age={self.oldest_rob_age}"
         return (
             f"machine state: cycle={self.cycle}"
             f" retired={self.retired}/{self.golden_length}"
-            f" (last seq {self.last_retired_seq})"
+            f" (last seq {self.last_retired_seq}, last pc {last_pc})"
             f" fetch_pc={self.fetch_pc}"
             f" rob={self.rob_occupancy}/{self.window_size}"
             f" contexts={contexts}"
-            f" head={head}"
+            f" head={head}{age}"
             f" incomplete_branches={self.incomplete_branches}"
         )
 

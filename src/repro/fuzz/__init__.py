@@ -1,0 +1,44 @@
+"""Differential fuzzing of the machine registry.
+
+The subsystem has five parts, composable but independently usable:
+
+* :mod:`repro.fuzz.generator` — seeded random *legal* programs over the
+  toy ISA, with workload-character knobs (branch density, loop nesting,
+  call depth, store→load aliasing, dependence-chain depth);
+* :mod:`repro.workloads.families` — those knobs packaged as named,
+  seeded workload families the spec engine can sweep
+  (``fam:<family>:<seed>`` workload names);
+* :mod:`repro.fuzz.oracle` — the differential oracle: every registry
+  machine against the functional reference and the cross-machine /
+  per-machine invariants of :mod:`repro.analysis.invariants`;
+* :mod:`repro.fuzz.shrink` — delta-debugging minimization of any
+  divergent program to a small reproducer;
+* :mod:`repro.fuzz.campaign` — the budgeted, checkpointed,
+  crash-resilient campaign runner and triage report, plus the
+  :mod:`repro.fuzz.corpus` regression-corpus format replayed by tier-1
+  tests.
+"""
+
+from .campaign import CampaignConfig, run_campaign
+from .corpus import load_corpus, load_reproducer, save_reproducer
+from .generator import GenConfig, generate_program, generate_source
+from .mutants import MUTANT_NAMES, mutant_machine
+from .oracle import Divergence, OracleReport, run_oracle
+from .shrink import shrink_program
+
+__all__ = [
+    "CampaignConfig",
+    "Divergence",
+    "GenConfig",
+    "MUTANT_NAMES",
+    "OracleReport",
+    "generate_program",
+    "generate_source",
+    "load_corpus",
+    "load_reproducer",
+    "mutant_machine",
+    "run_campaign",
+    "run_oracle",
+    "save_reproducer",
+    "shrink_program",
+]

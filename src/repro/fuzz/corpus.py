@@ -1,0 +1,160 @@
+"""Committed regression corpus: divergence reproducers as JSON files.
+
+Every divergence the campaign finds is shrunk and saved here; the
+corpus directory (``tests/corpus/`` in the repository) is replayed by
+tier-1 tests, so a machine bug caught once by fuzzing is caught forever
+by CI.  Reproducers produced against *mutant* executors (the injected
+known-bug dry run) record the mutant name and the expected divergence
+kinds; replay asserts both directions — real machines stay clean on the
+program AND the recorded mutant still diverges the recorded way.
+
+The file format is deliberately plain JSON with the program stored as
+assembler text (via :func:`repro.isa.assembler.disassemble`), so a
+reproducer is human-readable in review and independent of any pickle
+or dataclass layout.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import HarnessError
+from ..isa import Program, assemble
+from ..isa.assembler import disassemble
+
+#: format version; bump on any incompatible schema change
+CORPUS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One minimized divergent program plus its triage metadata."""
+
+    name: str
+    source: str  # assembler text of the minimized program
+    #: machine (or mutant) name -> divergence kind observed
+    signature: dict[str, str]
+    #: registry machines the divergence was established against
+    machines: tuple[str, ...]
+    #: mutant executors involved ("" entries never occur; empty = real bug)
+    mutants: tuple[str, ...] = ()
+    #: free-form provenance: generator seed, family, campaign id ...
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def is_mutant_repro(self) -> bool:
+        return bool(self.mutants)
+
+    def program(self) -> Program:
+        return assemble(self.source, name=self.name)
+
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+
+
+def program_source(program: Program) -> str:
+    """Render a program back to assembler text (PC-stable round trip).
+
+    Control targets without a covering label disassemble as absolute
+    PCs, which the assembler accepts as immediates — label lines do not
+    occupy PCs, so the round-tripped program has identical addresses.
+    """
+    by_pc: dict[int, list[str]] = {}
+    for label, pc in program.labels.items():
+        by_pc.setdefault(pc, []).append(label)
+    entry_labels = by_pc.get(program.entry)
+    if entry_labels:
+        entry_name = sorted(entry_labels)[0]
+    else:
+        entry_name = "entry"
+        while entry_name in program.labels:
+            entry_name += "_"
+        by_pc.setdefault(program.entry, []).append(entry_name)
+    lines = [f".entry {entry_name}"]
+    for pc, instr in enumerate(program.instructions):
+        for label in sorted(by_pc.get(pc, ())):
+            lines.append(f"{label}:")
+        lines.append(f"    {disassemble(instr, program.labels)}")
+    for addr in sorted(program.data):
+        lines.append(f".data {addr} {program.data[addr]}")
+    return "\n".join(lines) + "\n"
+
+
+def save_reproducer(
+    directory: str | Path,
+    program: Program,
+    signature: dict[str, str],
+    machines: tuple[str, ...],
+    mutants: tuple[str, ...] = (),
+    provenance: dict | None = None,
+) -> Path:
+    """Write one reproducer; returns its path.
+
+    The filename encodes the program name and first divergence kind so a
+    directory listing reads as a triage summary.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    source = program_source(program)
+    kinds = "+".join(sorted(set(signature.values()))) or "clean"
+    path = directory / f"{_slug(program.name)}.{_slug(kinds)}.json"
+    payload = {
+        "version": CORPUS_VERSION,
+        "name": program.name,
+        "signature": dict(signature),
+        "machines": list(machines),
+        "mutants": list(mutants),
+        "provenance": dict(provenance or {}),
+        "source": source,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> Reproducer:
+    """Read one reproducer file (validating version and shape)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise HarnessError(f"unreadable corpus file {path}: {exc}") from exc
+    version = payload.get("version")
+    if version != CORPUS_VERSION:
+        raise HarnessError(
+            f"corpus file {path} has version {version!r}; "
+            f"this tree reads version {CORPUS_VERSION}"
+        )
+    missing = {"name", "source", "signature", "machines"} - set(payload)
+    if missing:
+        raise HarnessError(
+            f"corpus file {path} is missing fields {sorted(missing)}"
+        )
+    return Reproducer(
+        name=payload["name"],
+        source=payload["source"],
+        signature=dict(payload["signature"]),
+        machines=tuple(payload["machines"]),
+        mutants=tuple(payload.get("mutants", ())),
+        provenance=dict(payload.get("provenance", {})),
+    )
+
+
+def load_corpus(directory: str | Path) -> list[Reproducer]:
+    """All reproducers in a directory, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_reproducer(path) for path in sorted(directory.glob("*.json"))]
+
+
+__all__ = [
+    "CORPUS_VERSION",
+    "Reproducer",
+    "load_corpus",
+    "load_reproducer",
+    "program_source",
+    "save_reproducer",
+]

@@ -1,0 +1,386 @@
+"""Random legal-program generator over the toy ISA.
+
+The paper's five kernels exercise five fixed control-flow shapes; the
+differential oracle (:mod:`repro.fuzz.oracle`) needs *arbitrary* legal
+shapes — unusual reconvergence patterns, deep call chains under
+mispredicted branches, aliasing store→load traffic inside squashed
+regions — to shake out mis-speculation bugs the kernels cannot reach.
+
+Programs are generated *structurally*, not by rejection sampling over
+random instruction soup, so every emitted program terminates by
+construction:
+
+* loops are down-counted through dedicated counter registers
+  (``r50..r57``, one per nesting level) that nothing else writes, with a
+  ``bne counter, r0, head`` back edge — the loop linter's induction /
+  exit rules hold by construction;
+* conditional branches inside straight-line regions only jump *forward*
+  (if/else diamonds and skip-chains), so they cannot create unbounded
+  retraversal;
+* the call graph is a chain ``main → fn1 → fn2 → …`` with the return
+  address saved to a dedicated per-depth register (``r40..r47``) and
+  restored into ``ra`` before ``jr ra``, so returns match the RAS and
+  recursion is impossible;
+* the prologue initializes every register the body may read, so the
+  definite use-before-def lint rule cannot fire.
+
+On top of the structural guarantees, every program is still passed
+through :func:`repro.analysis.check_program` — the generator must
+produce *lint-clean* programs with zero suppressions, making the linter
+an oracle over the generator itself.
+
+Branch outcomes are data-dependent: an in-program LCG (the same MMIX
+constants the kernels use) feeds compare operands, so conditional
+branches are genuinely hard to predict at configurable density.
+
+The knobs (:class:`GenConfig`) deliberately mirror the workload
+characteristics the paper's Table 1 spans: branch density, loop
+nesting, call depth, store→load aliasing, dependence-chain depth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from ..analysis import check_program
+from ..errors import ConfigError
+from ..isa import Program, assemble
+from ..workloads.kernels import LCG_ADD, LCG_MUL
+
+# -- register allocation plan (fixed; nothing else may write a pool) ----
+#: general data pool, freely read/written by generated compute
+DATA_REGS = tuple(range(1, 17))  # r1..r16
+#: LCG constants (read-only after the prologue)
+REG_LCG_MUL, REG_LCG_ADD = 21, 22
+#: LCG rolling state and scratch for derived condition bits
+REG_LCG_STATE, REG_LCG_SCRATCH = 30, 31
+#: address bases for loads/stores, each pointing at a distinct array
+ADDR_REGS = (25, 26, 27, 28)
+#: return-address save slots, one per call depth
+RA_SAVE_REGS = tuple(range(40, 48))  # r40..r47
+#: loop down-counters, one per loop-nesting level
+LOOP_REGS = tuple(range(50, 58))  # r50..r57
+#: down-counter of the whole-body outer repeat loop
+REG_OUTER = 58
+#: structured control flow (diamonds, loops) nests at most this deep, so
+#: no single branch arm can swallow the rest of the program
+MAX_CF_DEPTH = 3
+
+#: word offsets used for memory traffic (small, so arrays overlap only
+#: when the aliasing knob makes bases collide)
+MEM_OFFSETS = tuple(range(8))
+#: each address base starts this far apart
+ARRAY_STRIDE = 64
+#: first data address (past any .data the program defines)
+ARRAY_BASE = 1024
+
+_ALU_RR = ("add", "sub", "xor", "or", "and")
+_BRANCHES = ("beq", "bne", "blt", "bge")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for one generated program (all distributions seeded).
+
+    ``size`` is the approximate number of *static* body instructions;
+    the dynamic length also scales with ``loop_trips ** nesting``.
+    """
+
+    seed: int = 0
+    size: int = 60
+    branch_density: float = 0.3  # P(diamond) per body step
+    loop_nesting: int = 1  # max loop nest depth (0 = straight-line)
+    loop_trips: int = 6  # trip count per loop level
+    call_depth: int = 1  # length of the main -> fn1 -> ... chain
+    aliasing: float = 0.3  # P(a load reuses a recent store's address)
+    chain_depth: int = 3  # serial dependence-chain length per chunk
+    outer_trips: int = 4  # whole-body repeat count (warms predictors)
+
+    def validate(self) -> "GenConfig":
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigError(f"fuzz seed must be an int, got {self.seed!r}")
+        if not 4 <= self.size <= 2000:
+            raise ConfigError(f"fuzz size {self.size!r} outside [4, 2000]")
+        for knob in ("branch_density", "aliasing"):
+            value = getattr(self, knob)
+            if not (isinstance(value, (int, float)) and 0.0 <= value <= 1.0):
+                raise ConfigError(f"{knob}={value!r} must be in [0, 1]")
+        if not 0 <= self.loop_nesting <= len(LOOP_REGS):
+            raise ConfigError(
+                f"loop_nesting {self.loop_nesting!r} outside "
+                f"[0, {len(LOOP_REGS)}]"
+            )
+        if not 1 <= self.loop_trips <= 64:
+            raise ConfigError(f"loop_trips {self.loop_trips!r} outside [1, 64]")
+        if not 0 <= self.call_depth < len(RA_SAVE_REGS):
+            raise ConfigError(
+                f"call_depth {self.call_depth!r} outside "
+                f"[0, {len(RA_SAVE_REGS) - 1}]"
+            )
+        if not 1 <= self.chain_depth <= 32:
+            raise ConfigError(f"chain_depth {self.chain_depth!r} outside [1, 32]")
+        if not 1 <= self.outer_trips <= 64:
+            raise ConfigError(f"outer_trips {self.outer_trips!r} outside [1, 64]")
+        return self
+
+    def scaled(self, scale: float) -> "GenConfig":
+        """Scale dynamic length (trip counts) like the bundled kernels."""
+        if not math.isfinite(scale) or scale <= 0:
+            raise ConfigError(f"fuzz scale must be positive, got {scale!r}")
+        trips = max(1, min(64, round(self.loop_trips * scale)))
+        return replace(self, loop_trips=trips)
+
+
+class _Emitter:
+    """One generation pass: seeded RNG -> assembly text."""
+
+    def __init__(self, config: GenConfig):
+        self.cfg = config.validate()
+        self.rng = random.Random(config.seed)
+        self.lines: list[str] = []
+        self.label_counter = 0
+        self.emitted = 0  # body instructions so far (prologue excluded)
+        self.cf_depth = 0  # current diamond/loop nesting
+        #: (addr_reg, offset) of recent stores, for the aliasing knob
+        self.recent_stores: list[tuple[int, int]] = []
+
+    # -- small helpers --------------------------------------------------
+
+    def put(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def put_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def fresh_label(self, stem: str) -> str:
+        self.label_counter += 1
+        return f"{stem}_{self.label_counter}"
+
+    def data_reg(self) -> int:
+        return self.rng.choice(DATA_REGS)
+
+    # -- leaf emissions -------------------------------------------------
+
+    def emit_lcg_step(self) -> None:
+        """Advance the in-program PRNG; its low bits feed conditions."""
+        self.put(f"mul r{REG_LCG_STATE}, r{REG_LCG_STATE}, r{REG_LCG_MUL}")
+        self.put(f"add r{REG_LCG_STATE}, r{REG_LCG_STATE}, r{REG_LCG_ADD}")
+        self.emitted += 2
+
+    def emit_alu(self) -> None:
+        rng = self.rng
+        if rng.random() < 0.3:
+            self.put(
+                f"addi r{self.data_reg()}, r{self.data_reg()}, "
+                f"{rng.randint(-7, 7)}"
+            )
+        else:
+            op = rng.choice(_ALU_RR)
+            self.put(
+                f"{op} r{self.data_reg()}, r{self.data_reg()}, "
+                f"r{self.data_reg()}"
+            )
+        self.emitted += 1
+
+    def emit_chain(self) -> None:
+        """A serial dependence chain: each op reads the previous result."""
+        rng = self.rng
+        acc = self.data_reg()
+        for _ in range(rng.randint(1, self.cfg.chain_depth)):
+            op = rng.choice(_ALU_RR)
+            self.put(f"{op} r{acc}, r{acc}, r{self.data_reg()}")
+            self.emitted += 1
+
+    def emit_store(self) -> None:
+        base = self.rng.choice(ADDR_REGS)
+        offset = self.rng.choice(MEM_OFFSETS)
+        self.put(f"store r{self.data_reg()}, r{base}, {offset}")
+        self.recent_stores.append((base, offset))
+        if len(self.recent_stores) > 8:
+            self.recent_stores.pop(0)
+        self.emitted += 1
+
+    def emit_load(self) -> None:
+        if self.recent_stores and self.rng.random() < self.cfg.aliasing:
+            base, offset = self.rng.choice(self.recent_stores)
+        else:
+            base = self.rng.choice(ADDR_REGS)
+            offset = self.rng.choice(MEM_OFFSETS)
+        self.put(f"load r{self.data_reg()}, r{base}, {offset}")
+        self.emitted += 1
+
+    def emit_chunk(self) -> None:
+        """A few instructions of straight-line compute and memory."""
+        for _ in range(self.rng.randint(1, 3)):
+            pick = self.rng.random()
+            if pick < 0.40:
+                self.emit_alu()
+            elif pick < 0.60:
+                self.emit_chain()
+            elif pick < 0.78:
+                self.emit_store()
+            elif pick < 0.96:
+                self.emit_load()
+            else:
+                self.emit_lcg_step()
+
+    # -- structured control flow ----------------------------------------
+
+    def emit_condition(self) -> tuple[str, int, int]:
+        """A data-dependent compare: (branch_op, rs1, rs2).
+
+        Mixes LCG-derived bits (hard to predict) with data-pool compares
+        (possibly biased), covering both ends of the paper's
+        predictability spectrum.
+        """
+        rng = self.rng
+        if rng.random() < 0.6:
+            self.emit_lcg_step()
+            mask = rng.choice((1, 3))
+            self.put(f"andi r{REG_LCG_SCRATCH}, r{REG_LCG_STATE}, {mask}")
+            self.emitted += 1
+            return rng.choice(("beq", "bne")), REG_LCG_SCRATCH, 0
+        return rng.choice(_BRANCHES), self.data_reg(), self.data_reg()
+
+    def emit_diamond(self, depth: int) -> None:
+        """A forward if/else: the bread and butter of reconvergence."""
+        op, rs1, rs2 = self.emit_condition()
+        label_else = self.fresh_label("else")
+        label_join = self.fresh_label("join")
+        self.put(f"{op} r{rs1}, r{rs2}, {label_else}")
+        self.emitted += 1
+        self.cf_depth += 1
+        self.emit_body(depth, steps=self.rng.randint(1, 2))
+        if self.rng.random() < 0.7:
+            self.put(f"jump {label_join}")
+            self.emitted += 1
+            self.put_label(label_else)
+            self.emit_body(depth, steps=self.rng.randint(1, 2))
+            self.put_label(label_join)
+        else:
+            # hammock: the taken edge skips straight to the join
+            self.put_label(label_else)
+        self.cf_depth -= 1
+
+    def emit_loop(self, depth: int) -> None:
+        counter = LOOP_REGS[depth]
+        head = self.fresh_label("loop")
+        self.put(f"li r{counter}, {self.cfg.loop_trips}")
+        self.put_label(head)
+        self.emitted += 1
+        self.cf_depth += 1
+        self.emit_body(depth + 1, steps=self.rng.randint(1, 3))
+        self.cf_depth -= 1
+        self.put(f"addi r{counter}, r{counter}, -1")
+        self.put(f"bne r{counter}, r0, {head}")
+        self.emitted += 2
+
+    def emit_call(self, depth: int) -> None:
+        self.put(f"call fn{depth + 1}")
+        self.emitted += 1
+
+    def emit_body(self, loop_depth: int, steps: int, call_depth=None) -> None:
+        """A sequence of body items at the given loop-nesting depth."""
+        cfg = self.cfg
+        for _ in range(steps):
+            if self.emitted >= cfg.size:
+                return
+            nestable = self.cf_depth < MAX_CF_DEPTH
+            pick = self.rng.random()
+            if nestable and pick < cfg.branch_density:
+                self.emit_diamond(loop_depth)
+            elif (
+                nestable
+                and loop_depth < cfg.loop_nesting
+                and pick < cfg.branch_density + 0.25
+            ):
+                self.emit_loop(loop_depth)
+            elif (
+                call_depth is not None
+                and call_depth < cfg.call_depth
+                and pick < cfg.branch_density + 0.40
+            ):
+                self.emit_call(call_depth)
+            else:
+                self.emit_chunk()
+
+    # -- whole-program assembly -----------------------------------------
+
+    def emit_prologue(self) -> None:
+        rng = self.rng
+        self.put(f"li r{REG_LCG_MUL}, {LCG_MUL}")
+        self.put(f"li r{REG_LCG_ADD}, {LCG_ADD}")
+        self.put(f"li r{REG_LCG_STATE}, {rng.randint(1, 2**31)}")
+        self.put(f"li r{REG_LCG_SCRATCH}, 0")
+        for reg in DATA_REGS:
+            self.put(f"li r{reg}, {rng.randint(-64, 64)}")
+        for index, reg in enumerate(ADDR_REGS):
+            self.put(f"li r{reg}, {ARRAY_BASE + index * ARRAY_STRIDE}")
+        for reg in RA_SAVE_REGS[: self.cfg.call_depth]:
+            self.put(f"li r{reg}, 0")
+
+    def emit_function(self, depth: int) -> None:
+        """One link of the call chain: save ra, body, restore, return."""
+        save = RA_SAVE_REGS[depth - 1]
+        self.put_label(f"fn{depth}")
+        self.put(f"addi r{save}, ra, 0")
+        self.emitted += 1
+        self.emit_body(
+            loop_depth=max(0, self.cfg.loop_nesting - 1),
+            steps=self.rng.randint(2, 4),
+            call_depth=depth,
+        )
+        self.put(f"addi ra, r{save}, 0")
+        self.put("jr ra")
+        self.emitted += 2
+
+    def generate(self) -> str:
+        cfg = self.cfg
+        self.lines.append(".entry main")
+        self.put_label("main")
+        self.emit_prologue()
+        # The whole body repeats, so every region re-executes with
+        # trained predictor state — mispredict-then-reconverge behaviour
+        # differs between cold and warm passes.
+        self.put(f"li r{REG_OUTER}, {cfg.outer_trips}")
+        self.put_label("outer")
+        while self.emitted < cfg.size:
+            self.emit_body(loop_depth=0, steps=2, call_depth=0)
+        self.put(f"addi r{REG_OUTER}, r{REG_OUTER}, -1")
+        self.put(f"bne r{REG_OUTER}, r0, outer")
+        self.put("halt")
+        for depth in range(1, cfg.call_depth + 1):
+            self.emit_function(depth)
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(config: GenConfig) -> str:
+    """Generate one program's assembly text (deterministic in the seed)."""
+    return _Emitter(config).generate()
+
+
+def generate_program(config: GenConfig, name: str | None = None) -> Program:
+    """Generate, assemble and lint one program.
+
+    The structural guarantees make lint failures impossible by design;
+    :func:`~repro.analysis.check_program` still runs with *zero*
+    suppressions so any generator regression is caught at the source.
+    """
+    if name is None:
+        name = f"fuzz-s{config.seed}"
+    program = assemble(generate_source(config), name=name)
+    check_program(program)
+    return program
+
+
+__all__ = [
+    "ADDR_REGS",
+    "DATA_REGS",
+    "GenConfig",
+    "LOOP_REGS",
+    "RA_SAVE_REGS",
+    "generate_program",
+    "generate_source",
+]

@@ -1,0 +1,110 @@
+"""Deliberately-buggy functional executors: ground truth for the oracle.
+
+A differential oracle that has never caught a bug is indistinguishable
+from one that cannot.  Since every real registry machine is (hopefully)
+correct, these mutants supply *known* divergences on demand: each wraps
+the architectural executor with one seeded, deterministic semantic bug
+of a distinct class, so the oracle→shrinker→corpus pipeline can be
+exercised end to end (``examples/fuzz_campaign.py --inject-fault``)
+without corrupting any real machine.
+
+* ``alu-xor`` — value bug: ``XOR`` computes ``OR`` instead.
+* ``branch-bge`` — control bug: ``BGE`` takes the ``BLT`` sense.
+* ``mem-store`` — memory bug: stores land one word past their address.
+
+Each mutant is only wrong where its instruction class occurs, so many
+generated programs run clean on a mutant — exactly like a real rare
+bug — and the campaign has to *find* a triggering program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, ExecutionLimitExceeded
+from ..functional.executor import TraceEntry, step
+from ..functional.state import ArchState
+from ..isa import Op, Program
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One named semantic bug over the functional executor."""
+
+    name: str
+    description: str
+    #: opcode whose semantics this mutant perturbs
+    trigger: Op
+
+
+MUTANTS: dict[str, Mutant] = {
+    mutant.name: mutant
+    for mutant in (
+        Mutant("alu-xor", "XOR computes OR (value corruption)", Op.XOR),
+        Mutant("branch-bge", "BGE branches on the BLT sense (control bug)", Op.BGE),
+        Mutant("mem-store", "stores write one word past their address", Op.STORE),
+    )
+}
+
+MUTANT_NAMES = tuple(MUTANTS)
+
+
+def mutant_machine(name: str) -> Mutant:
+    """Look up a mutant, rejecting unknown names loudly."""
+    try:
+        return MUTANTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mutant {name!r}; choose from {MUTANT_NAMES}"
+        ) from None
+
+
+def _mutate(mutant: Mutant, state: ArchState, program: Program, seq: int) -> TraceEntry:
+    """Execute one instruction under the mutant's (buggy) semantics."""
+    pc = state.pc
+    instr = program.fetch(pc)
+    if instr is None or instr.op is not mutant.trigger:
+        return step(state, program, seq)
+
+    a = state.read_reg(instr.rs1)
+    b = state.read_reg(instr.rs2)
+    if mutant.name == "alu-xor":
+        value = (a | b) & ((1 << 64) - 1)
+        if value >= 1 << 63:
+            value -= 1 << 64
+        state.write_reg(instr.rd, value)
+        state.pc = pc + 1
+        return TraceEntry(seq, pc, instr, False, pc + 1, None, value, None)
+    if mutant.name == "branch-bge":
+        taken = a < b  # the BLT sense: the bug under test
+        next_pc = instr.target if taken else pc + 1
+        state.pc = next_pc
+        return TraceEntry(seq, pc, instr, taken, next_pc, None, None, None)
+    if mutant.name == "mem-store":
+        addr = a + instr.imm + 1  # one word past the architected address
+        state.mem.write(addr, b)
+        state.pc = pc + 1
+        return TraceEntry(seq, pc, instr, False, pc + 1, addr, None, b)
+    raise ConfigError(f"mutant {mutant.name!r} has no executor")
+
+
+def run_mutant(
+    mutant: Mutant, program: Program, max_steps: int = 1_000_000
+) -> tuple[list[TraceEntry], ArchState]:
+    """Run ``program`` under the mutant; returns (trace, final state)."""
+    state = ArchState(pc=program.entry)
+    for addr, value in program.data.items():
+        state.mem.write(addr, value)
+    trace: list[TraceEntry] = []
+    seq = 0
+    while not state.halted:
+        if seq >= max_steps:
+            raise ExecutionLimitExceeded(
+                f"{program.name}[{mutant.name}]: exceeded {max_steps} steps"
+            )
+        trace.append(_mutate(mutant, state, program, seq))
+        seq += 1
+    return trace, state
+
+
+__all__ = ["MUTANTS", "MUTANT_NAMES", "Mutant", "mutant_machine", "run_mutant"]

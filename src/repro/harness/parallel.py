@@ -34,12 +34,13 @@ from __future__ import annotations
 import logging
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
 
 from ..errors import ConfigError
 from ..workloads import WORKLOAD_NAMES
-from .runner import Cell, CellResult, CellRunner, CheckpointStore, RunnerConfig
+from .runner import Cell, CellResult, CellRunner, CheckpointStore, Deadline, RunnerConfig
 
 _log = logging.getLogger(__name__)
 
@@ -130,6 +131,127 @@ def _run_cell(
         "error_type": result.error_type,
         "attempts": result.attempts,
     }
+
+
+# ----------------------------------------------------------------------
+# Crash-resilient windowed dispatch
+
+
+#: outcome tags yielded by :func:`map_resilient`
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"  # the task raised (picklable) inside the worker
+OUTCOME_CRASHED = "crashed"  # its worker process died while it was in flight
+OUTCOME_SKIPPED = "skipped"  # never dispatched: the deadline expired first
+
+
+def map_resilient(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int,
+    *,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    deadline: Deadline | None = None,
+    on_result: Callable[[int, tuple], None] | None = None,
+) -> list[tuple]:
+    """Run ``fn(*tasks[i])`` across a process pool, surviving worker death.
+
+    An abrupt worker kill (OOM killer, segfaulting C extension, operator
+    ``kill -9``) breaks a :class:`ProcessPoolExecutor` *permanently*:
+    every queued future fails with :class:`BrokenProcessPool` and a naive
+    ``as_completed`` loop loses the whole remaining study.  This helper
+    instead:
+
+    * **windows submissions** — at most ``2 * jobs`` tasks are in flight,
+      so a pool breakage can only take down the tasks actually being
+      executed, never the long tail still queued in the parent;
+    * **classifies the blast radius** — in-flight tasks at the moment of
+      breakage become ``("crashed", message)`` outcomes (the dead worker
+      cannot tell us which of them killed it, so all are reported);
+    * **resumes the rest** — a fresh pool is built and the remaining
+      tasks continue as if nothing happened;
+    * **honours a wall-clock budget** — with ``deadline``, tasks that
+      were never dispatched when it expires become ``("skipped", ...)``
+      outcomes, so a budgeted campaign ends cleanly and resumably.
+
+    Returns one ``(tag, payload)`` outcome per task, in task order:
+    ``("ok", value)``, ``("error", exception)``, ``("crashed", message)``
+    or ``("skipped", message)``.  ``on_result`` is invoked as each
+    outcome lands (in completion order) for incremental checkpointing.
+    """
+    outcomes: list[tuple | None] = [None] * len(tasks)
+    pending: list[int] = list(range(len(tasks)))[::-1]  # pop() from the front
+
+    def settle(index: int, outcome: tuple) -> None:
+        outcomes[index] = outcome
+        if on_result is not None:
+            on_result(index, outcome)
+
+    while pending:
+        if deadline is not None and deadline.expired():
+            while pending:
+                settle(
+                    pending.pop(),
+                    (OUTCOME_SKIPPED, "wall-clock budget expired before dispatch"),
+                )
+            break
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            initializer=initializer,
+            initargs=initargs,
+        )
+        inflight: dict = {}
+        broke = False
+        try:
+            while pending or inflight:
+                while (
+                    pending
+                    and len(inflight) < 2 * jobs
+                    and not (deadline is not None and deadline.expired())
+                ):
+                    index = pending.pop()
+                    inflight[pool.submit(fn, *tasks[index])] = index
+                if not inflight:
+                    break  # deadline expired with nothing running
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future)
+                    try:
+                        settle(index, (OUTCOME_OK, future.result()))
+                    except BrokenProcessPool as exc:
+                        broke = True
+                        settle(
+                            index,
+                            (
+                                OUTCOME_CRASHED,
+                                "worker process died abruptly while this task "
+                                f"was in flight ({exc or 'BrokenProcessPool'})",
+                            ),
+                        )
+                    except Exception as exc:
+                        settle(index, (OUTCOME_ERROR, exc))
+                if broke:
+                    # Everything still in flight shared the broken pool.
+                    for future, index in inflight.items():
+                        settle(
+                            index,
+                            (
+                                OUTCOME_CRASHED,
+                                "worker process died abruptly while this task "
+                                "was in flight (pool broken by a sibling crash)",
+                            ),
+                        )
+                    inflight.clear()
+                    _log.warning(
+                        "process pool broke (worker killed?); restarting it "
+                        "for the %d remaining task(s)",
+                        len(pending),
+                    )
+                    break  # rebuild the pool for the remaining tasks
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return [outcome if outcome is not None else (OUTCOME_SKIPPED, "never ran")
+            for outcome in outcomes]
 
 
 def _prewarm_cache(cache, names, scale: float) -> None:
@@ -233,40 +355,53 @@ def run_study_parallel(
         try:
             cache = ArtifactCache(disk_dir=shared_dir)
             _prewarm_cache(cache, dict.fromkeys(c.workload for c in pending), scale)
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(pending)),
+            tasks = [
+                (
+                    cell.experiment,
+                    cell.workload,
+                    cell.config_hash,
+                    cell.scale,
+                    experiment_kwargs,
+                    runner_knobs,
+                )
+                for cell in pending
+            ]
+
+            def on_result(index: int, outcome: tuple) -> None:
+                cell = pending[index]
+                tag, payload = outcome
+                if tag == OUTCOME_OK:
+                    result = CellResult(**payload)
+                elif tag == OUTCOME_CRASHED:
+                    result = CellResult(
+                        key=cell.key,
+                        status="error",
+                        value=None,
+                        error=payload,
+                        error_type="WorkerCrash",
+                        attempts=1,
+                    )
+                else:  # "error": the worker raised / result was unpicklable
+                    result = CellResult(
+                        key=cell.key,
+                        status="error",
+                        value=None,
+                        error=str(payload),
+                        error_type=type(payload).__name__,
+                        attempts=1,
+                    )
+                if result.ok and store is not None:
+                    store.record(result.key, result.value)
+                outcomes[result.key] = result
+
+            map_resilient(
+                _run_cell,
+                tasks,
+                n_jobs,
                 initializer=_init_worker,
                 initargs=(str(shared_dir),),
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_cell,
-                        cell.experiment,
-                        cell.workload,
-                        cell.config_hash,
-                        cell.scale,
-                        experiment_kwargs,
-                        runner_knobs,
-                    ): cell
-                    for cell in pending
-                }
-                for future in as_completed(futures):
-                    cell = futures[future]
-                    try:
-                        payload = future.result()
-                    except Exception as exc:  # worker died / unpicklable
-                        payload = {
-                            "key": cell.key,
-                            "status": "error",
-                            "value": None,
-                            "error": str(exc),
-                            "error_type": type(exc).__name__,
-                            "attempts": 1,
-                        }
-                    result = CellResult(**payload)
-                    if result.ok and store is not None:
-                        store.record(result.key, result.value)
-                    outcomes[result.key] = result
+                on_result=on_result,
+            )
         finally:
             if tmpdir is not None:
                 tmpdir.cleanup()
@@ -276,4 +411,4 @@ def run_study_parallel(
     return out
 
 
-__all__ = ["resolve_jobs", "run_study_parallel"]
+__all__ = ["map_resilient", "resolve_jobs", "run_study_parallel"]

@@ -76,11 +76,28 @@ def build_workload(name: str, scale: float = 1.0) -> Workload:
     thousands of dynamic instructions per workload.  Invalid names and
     scales raise :class:`~repro.errors.WorkloadError` before any
     assembly or simulation happens.
+
+    Besides the five bundled kernels, ``fam:<family>:<seed>`` names
+    build a seeded variant of a generated workload family
+    (:mod:`repro.workloads.families`), so family workloads flow through
+    the artifact cache, the spec engine and the parallel scheduler
+    exactly like the kernels.
     """
+    _check_scale(scale)
+    if name.startswith("fam:"):
+        from .families import build_family_workload
+
+        return build_family_workload(name, scale)
     if name not in _BUILDERS:
         raise WorkloadError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES} "
+            "or a 'fam:<family>:<seed>' generated family variant"
         )
+    source = _BUILDERS[name](scale)
+    return Workload(name=name, program=assemble(source, name=name), scale=scale)
+
+
+def _check_scale(scale: float) -> None:
     if isinstance(scale, bool) or not isinstance(scale, (int, float)):
         raise WorkloadError(
             f"workload scale must be a number, got {scale!r} "
@@ -95,8 +112,6 @@ def build_workload(name: str, scale: float = 1.0) -> Workload:
             f"workload scale {scale!r} exceeds the sanity cap {MAX_SCALE} "
             "(the paper-scale run is scale=1.0)"
         )
-    source = _BUILDERS[name](scale)
-    return Workload(name=name, program=assemble(source, name=name), scale=scale)
 
 
 def build_all(scale: float = 1.0) -> list[Workload]:

@@ -1,0 +1,161 @@
+"""Parameterized workload families over the fuzz generator.
+
+The paper's Table 1 fixes five workload *points*; a family is a named
+*distribution* over workload character: each family pins the generator
+knobs (:class:`repro.fuzz.generator.GenConfig`) to one region of the
+space the paper's benchmarks span — branchy (go), loopy (ijpeg),
+call-heavy (gcc/vortex), memory-aliasing (compress), serial dependence
+chains — and exposes a seeded variant axis.
+
+A family workload is addressed as ``fam:<family>:<seed>`` anywhere a
+workload name is accepted (``build_workload``, the spec engine's grid
+folds, the parallel study scheduler, the artifact cache), so Figures
+3/5/6-style sweeps extend from five fixed kernels to a continuous,
+reproducible scenario space.  ``scale`` multiplies loop trip counts,
+exactly like the bundled kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import WorkloadError
+
+#: prefix routing workload names into this module
+FAMILY_PREFIX = "fam:"
+
+
+@dataclass(frozen=True)
+class Family:
+    """One named region of workload-character space."""
+
+    name: str
+    description: str
+    #: generator knobs with ``seed`` used as a base offset; a variant's
+    #: effective seed is ``base.seed + variant``.
+    base: "GenConfig"
+
+
+def _base(**knobs) -> "GenConfig":
+    from ..fuzz.generator import GenConfig
+
+    return GenConfig(**knobs)
+
+
+def _families() -> dict[str, Family]:
+    return {
+        family.name: family
+        for family in (
+            Family(
+                "branchy",
+                "dense data-dependent diamonds, shallow loops "
+                "(go-like: frequent hard-to-predict branches)",
+                _base(size=90, branch_density=0.55, loop_nesting=1,
+                      loop_trips=8, call_depth=0, aliasing=0.1,
+                      chain_depth=2),
+            ),
+            Family(
+                "loopy",
+                "deep predictable loop nests rich in ILP "
+                "(ijpeg-like: few, biased branches)",
+                _base(size=70, branch_density=0.10, loop_nesting=3,
+                      loop_trips=5, call_depth=0, aliasing=0.1,
+                      chain_depth=2),
+            ),
+            Family(
+                "callchain",
+                "call chains under branchy dispatch "
+                "(gcc/vortex-like: returns stress the RAS and the "
+                "return reconvergence heuristic)",
+                _base(size=80, branch_density=0.35, loop_nesting=1,
+                      loop_trips=6, call_depth=4, aliasing=0.2,
+                      chain_depth=2),
+            ),
+            Family(
+                "aliasing",
+                "store→load traffic through shared addresses "
+                "(compress-like: memory-ordering violations and "
+                "selective load reissue)",
+                _base(size=80, branch_density=0.25, loop_nesting=2,
+                      loop_trips=6, call_depth=0, aliasing=0.8,
+                      chain_depth=2),
+            ),
+            Family(
+                "chains",
+                "long serial dependence chains behind occasional "
+                "mispredictions (latency-bound redispatch stress)",
+                _base(size=70, branch_density=0.20, loop_nesting=1,
+                      loop_trips=8, call_depth=1, aliasing=0.2,
+                      chain_depth=10),
+            ),
+        )
+    }
+
+
+#: the family registry (name -> Family)
+FAMILIES: dict[str, Family] = _families()
+
+#: family names, in registry order
+FAMILY_NAMES = tuple(FAMILIES)
+
+
+def get_family(name: str) -> Family:
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload family {name!r}; choose from {FAMILY_NAMES}"
+        ) from None
+
+
+def family_config(family: str, variant: int, scale: float = 1.0) -> "GenConfig":
+    """The generator configuration for one family variant at a scale."""
+    base = get_family(family).base
+    if isinstance(variant, bool) or not isinstance(variant, int) or variant < 0:
+        raise WorkloadError(
+            f"family variant must be a non-negative int, got {variant!r}"
+        )
+    return replace(base, seed=base.seed + variant).scaled(scale)
+
+
+def family_workload_name(family: str, variant: int) -> str:
+    """The registry-style name of one family variant."""
+    return f"{FAMILY_PREFIX}{family}:{variant}"
+
+
+def parse_family_name(name: str) -> tuple[str, int]:
+    """Split ``fam:<family>:<seed>`` into its parts (validated)."""
+    body = name[len(FAMILY_PREFIX):]
+    parts = body.split(":")
+    if len(parts) != 2 or not parts[1].isdigit():
+        raise WorkloadError(
+            f"bad family workload name {name!r}; expected "
+            f"'{FAMILY_PREFIX}<family>:<seed>' "
+            f"with <family> in {FAMILY_NAMES}"
+        )
+    get_family(parts[0])
+    return parts[0], int(parts[1])
+
+
+def build_family_workload(name: str, scale: float = 1.0):
+    """Build the ``fam:<family>:<seed>`` workload (lint-clean program)."""
+    from ..fuzz.generator import generate_program
+    from . import Workload
+
+    family, variant = parse_family_name(name)
+    config = family_config(family, variant, scale)
+    program = generate_program(config, name=name)
+    return Workload(name=name, program=program, scale=scale)
+
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_NAMES",
+    "FAMILY_PREFIX",
+    "Family",
+    "build_family_workload",
+    "family_config",
+    "family_workload_name",
+    "get_family",
+    "parse_family_name",
+]

@@ -63,6 +63,47 @@ class TestHierarchy:
         assert "restart" in text and "head=pc 9" in text
         assert snap.last_retired_seq == 4
 
+    def test_snapshot_reports_last_retired_pc_and_head_age(self):
+        snap = MachineSnapshot(
+            cycle=50_000, fetch_pc=12, rob_occupancy=64, window_size=256,
+            active_contexts=1, context_phases=("normal",), retired=900,
+            golden_length=5_000, head_pc=41, head_status="incomplete",
+            incomplete_branches=2, last_retired_pc=40, oldest_rob_age=49_000,
+        )
+        text = snap.describe()
+        assert "last pc 40" in text
+        assert "head_age=49000" in text
+
+    def test_snapshot_hides_age_and_pc_when_unknown(self):
+        # Nothing retired yet + empty ROB: no misleading placeholders.
+        snap = MachineSnapshot(
+            cycle=3, fetch_pc=0, rob_occupancy=0, window_size=256,
+            active_contexts=0, context_phases=(), retired=0,
+            golden_length=100, head_pc=None, head_status="",
+            incomplete_branches=0,
+        )
+        text = snap.describe()
+        assert "last pc none" in text
+        assert "head_age" not in text
+        assert "head=empty" in text
+
+    def test_processor_snapshot_populates_triage_fields(self):
+        from repro.cfg import ReconvergenceTable
+        from repro.core import CoreConfig, GoldenTrace, Processor
+        from repro.workloads import build_workload
+
+        program = build_workload("compress", 0.05).program
+        proc = Processor(
+            program, CoreConfig(window_size=64),
+            GoldenTrace(program), ReconvergenceTable(program),
+        )
+        proc.run()
+        snap = proc.snapshot()
+        # After a completed run everything retired and the ROB drained.
+        assert snap.retired == snap.golden_length
+        assert snap.last_retired_pc is not None
+        assert snap.oldest_rob_age is None
+
 
 class TestConfigValidation:
     def test_default_config_is_valid(self):

@@ -1,12 +1,16 @@
 """Parallel study scheduler: equivalence, resume, isolation, job knobs."""
 
 import json
+import multiprocessing
+import os
+import signal
+import sys
 
 import pytest
 
 from repro.errors import ConfigError
 from repro.harness import run_study
-from repro.harness.parallel import resolve_jobs, run_study_parallel
+from repro.harness.parallel import map_resilient, resolve_jobs, run_study_parallel
 
 # Small but non-trivial grid: two experiments x two workloads.
 EXPS = ["table1"]
@@ -119,6 +123,119 @@ class TestParallelResume:
             checkpoint_path=tmp_path / "study.json",
         )
         assert out["jobs"] == 2 and not out["failures"]
+
+
+def _echo(x):
+    return x * 10
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _sigkill_on_three(x):
+    if x == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+#: the real ``parallel._run_cell``, captured before the crash test
+#: monkeypatches it away (workers call through this module-level slot).
+_REAL_RUN_CELL = None
+
+
+def _kill_run_cell(experiment, workload, *args):
+    """Stand-in for ``parallel._run_cell`` that dies on one workload.
+
+    Module-level so the pool can pickle it by reference; workers forked
+    after the monkeypatch resolve it through this (inherited) module.
+    """
+    if workload == "compress":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_RUN_CELL(experiment, workload, *args)
+
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-kill tests rely on fork inheriting patched module state",
+)
+
+
+class TestMapResilient:
+    def test_healthy_map_preserves_task_order(self):
+        outcomes = map_resilient(_echo, [(i,) for i in range(6)], 2)
+        assert outcomes == [("ok", i * 10) for i in range(6)]
+
+    def test_worker_exception_is_an_error_outcome(self):
+        outcomes = map_resilient(_raise_on_three, [(i,) for i in range(5)], 2)
+        assert [tag for tag, _ in outcomes] == ["ok", "ok", "ok", "error", "ok"]
+        tag, exc = outcomes[3]
+        assert isinstance(exc, ValueError) and "three" in str(exc)
+
+    def test_expired_deadline_skips_everything(self):
+        from repro.harness.runner import Deadline
+
+        expired = Deadline(expires_at=0.0, budget_seconds=0.001)
+        outcomes = map_resilient(_echo, [(i,) for i in range(4)], 2, deadline=expired)
+        assert all(tag == "skipped" for tag, _ in outcomes)
+
+    @fork_only
+    def test_sigkilled_worker_crashes_only_its_window(self):
+        tasks = [(i,) for i in range(10)]
+        outcomes = map_resilient(_sigkill_on_three, tasks, 2)
+        tags = [tag for tag, _ in outcomes]
+        assert tags[3] == "crashed"
+        assert "died abruptly" in outcomes[3][1]
+        # The pool was rebuilt: everything outside the broken pool's
+        # in-flight window (at most 2*jobs tasks) still completed.
+        assert set(tags) <= {"ok", "crashed"}
+        assert tags.count("crashed") <= 2 * 2
+        assert all(
+            payload == i * 10
+            for i, (tag, payload) in enumerate(outcomes)
+            if tag == "ok"
+        )
+
+
+class TestWorkerCrashRecovery:
+    @fork_only
+    def test_sigkilled_worker_becomes_structured_row_and_study_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.harness.parallel as parallel_mod
+
+        path = tmp_path / "study.json"
+
+        with monkeypatch.context() as patch:
+            # Workers are forked after the patch, so they inherit it.
+            patch.setattr(
+                sys.modules[__name__], "_REAL_RUN_CELL", parallel_mod._run_cell
+            )
+            patch.setattr(parallel_mod, "_run_cell", _kill_run_cell)
+            first = run_study_parallel(
+                experiments=EXPS, scale=SCALE, names=NAMES, jobs=2,
+                checkpoint_path=path,
+            )
+
+        # The study survived the kill: the murdered cell is a structured
+        # error row, not a raised BrokenProcessPool.
+        crashed = first["results"]["table1"]["compress"]
+        assert crashed["error_type"] == "WorkerCrash"
+        assert "died abruptly" in crashed["error"]
+        assert any(f.error_type == "WorkerCrash" for f in first["failures"])
+
+        # Resuming without the killer completes only the crashed cells;
+        # checkpointed survivors are not re-executed.
+        second = run_study_parallel(
+            experiments=EXPS, scale=SCALE, names=NAMES, jobs=2,
+            checkpoint_path=path,
+        )
+        assert not second["failures"]
+        assert second["resumed"] == len(NAMES) - len(first["failures"])
+        for name in NAMES:
+            assert "error" not in second["results"]["table1"][name]
 
 
 class TestSharedCacheDir:

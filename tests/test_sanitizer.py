@@ -148,6 +148,46 @@ class TestFaultLocalization:
             pass  # any other checker may legitimately trip later
 
 
+class TestFaultLocalizationOnGeneratedWorkloads:
+    """The localization is not tuned to the paper benchmarks: every
+    structural injector is still caught and correctly named under
+    fuzz-generated family workloads (``fam:<family>:<seed>``)."""
+
+    FAMILY_WORKLOADS = ["fam:branchy:0", "fam:aliasing:1"]
+
+    @pytest.fixture(scope="class", params=FAMILY_WORKLOADS)
+    def generated(self, request):
+        program = build_workload(request.param, 0.5).program
+        return program, GoldenTrace(program), ReconvergenceTable(program)
+
+    # Whether one corruption *trips* depends on what is in flight at the
+    # trigger (a swap in a near-empty ROB is a no-op), so each fault
+    # gets a couple of injection points; it must trip at least once and
+    # every trip must name its own structure.
+    ATTEMPTS = [(0, 30), (0, 150)]
+
+    @pytest.mark.parametrize("cls,structure", TestFaultLocalization.CASES)
+    def test_structure_named_on_generated_program(
+        self, generated, cls, structure
+    ):
+        program, golden, table = generated
+        assert len(golden) > 200  # the faults need room to fire and trip
+        tripped = 0
+        for seed, trigger in self.ATTEMPTS:
+            fault = cls(seed=seed, trigger_retired=trigger)
+            cfg = CoreConfig(
+                window_size=128, sanitize=True, sanitize_stride=1
+            )
+            try:
+                run_with_fault(program, cfg, fault, golden, table)
+            except SanitizerError as err:
+                tripped += 1
+                assert err.structure == structure
+                assert err.snapshot is not None
+            assert fault.fired
+        assert tripped >= 1
+
+
 class TestValueFaultsStillCaughtUnderSanitizer:
     """The sanitizer checks structure, not values: the existing
     co-simulation checkers keep catching value corruption with the
