@@ -38,6 +38,8 @@ class LoadStoreQueue:
             self._loads[node.uid] = node
 
     def drop(self, node: DynInstr) -> None:
+        if not node.instr.f_mem:  # only memory ops are ever tracked
+            return
         self._stores.pop(node.uid, None)
         self._loads.pop(node.uid, None)
         self._unresolved_stores.pop(node.uid, None)

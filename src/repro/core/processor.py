@@ -45,6 +45,7 @@ from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .regfile import PhysReg
 from .rob import DynInstr, ReorderBuffer
+from .soa import CompletionWheel
 from .stats import CoreStats
 from .stages import (
     BackendStage,
@@ -119,13 +120,21 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         self._last_active: _Context | None = None
         self._needs_remap = False
         self._ready: list[tuple[int, int, int, DynInstr]] = []
-        self._completing: dict[int, list[tuple[DynInstr, int]]] = {}
         self._pending_branches: list[tuple[DynInstr, int]] = []
         self._incomplete_branches: dict[int, DynInstr] = {}
 
         # Hot-path precomputation: execution latency by dense opcode, and
         # the completion-model gates resolved to plain booleans.
         self._lat = latency_table(cfg.latencies)
+        # Completion events live in a preallocated ring sized past the
+        # largest possible completion latency (op latency, or load
+        # hit/miss plus the 1-cycle address cycle).
+        self._completing = CompletionWheel(
+            max(
+                max(self._lat),
+                1 + (1 if cfg.perfect_cache else cfg.cache_miss_latency),
+            )
+        )
         self._gate_in_order = cfg.completion_model.branches_in_order
         self._gate_stores = cfg.completion_model.requires_resolved_stores
 
@@ -236,46 +245,68 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
 
     # ==================================================================
     # the cycle loop: explicit stage wiring
+    #
+    # The loop is resumable — ``start()`` latches the budget/watchdog
+    # state, ``step()`` advances exactly one cycle, ``finish()`` seals
+    # the statistics — so a batch driver (:mod:`repro.harness.batch`)
+    # can interleave cycles of independent machines.  ``run()`` is the
+    # serial driver over the same three calls; cycle ordering within a
+    # step is byte-identical to the historical monolithic loop.
 
-    def run(self) -> CoreStats:
-        max_cycles = self.config.max_cycles
-        watchdog = self.config.watchdog_cycles
-        last_retired = self.retired_count
-        last_progress_cycle = self.cycle
-        while not self.halted:
-            if self.cycle > max_cycles:
-                raise SimulationHang(
-                    f"exceeded the {max_cycles}-cycle budget",
-                    snapshot=self.snapshot(),
-                    kind="cycle-limit",
-                )
-            self._complete_phase()
-            self._retire_phase()
-            # Forward-progress watchdog: a window that stops retiring long
-            # before max_cycles is a livelock (lost wakeup, stuck recovery),
-            # not a slow program — fail fast with the machine state.
-            if self.retired_count != last_retired:
-                last_retired = self.retired_count
-                last_progress_cycle = self.cycle
-            elif self.cycle - last_progress_cycle >= watchdog:
-                raise SimulationHang(
-                    f"no instruction retired in {watchdog} cycles "
-                    "(forward-progress watchdog)",
-                    snapshot=self.snapshot(),
-                    kind="livelock",
-                )
-            if self.halted:
-                break
-            self._issue_phase()
-            fetched_before = self.stats.fetched
-            self._sequencer_phase()
-            if self.stats.fetched != fetched_before:
-                self.stats.stage_dispatch_cycles += 1
-            for hook in self._cycle_hooks:
-                hook(self)
-            self.cycle += 1
+    def start(self) -> None:
+        """Latch the cycle budget and forward-progress watchdog state."""
+        self._max_cycles = self.config.max_cycles
+        self._watchdog = self.config.watchdog_cycles
+        self._last_retired = self.retired_count
+        self._last_progress_cycle = self.cycle
+
+    def step(self) -> bool:
+        """Advance one cycle; False once the machine has halted."""
+        if self.halted:
+            return False
+        if self.cycle > self._max_cycles:
+            raise SimulationHang(
+                f"exceeded the {self._max_cycles}-cycle budget",
+                snapshot=self.snapshot(),
+                kind="cycle-limit",
+            )
+        self._complete_phase()
+        self._retire_phase()
+        # Forward-progress watchdog: a window that stops retiring long
+        # before max_cycles is a livelock (lost wakeup, stuck recovery),
+        # not a slow program — fail fast with the machine state.
+        if self.retired_count != self._last_retired:
+            self._last_retired = self.retired_count
+            self._last_progress_cycle = self.cycle
+        elif self.cycle - self._last_progress_cycle >= self._watchdog:
+            raise SimulationHang(
+                f"no instruction retired in {self._watchdog} cycles "
+                "(forward-progress watchdog)",
+                snapshot=self.snapshot(),
+                kind="livelock",
+            )
+        if self.halted:
+            return False
+        self._issue_phase()
+        fetched_before = self.stats.fetched
+        self._sequencer_phase()
+        if self.stats.fetched != fetched_before:
+            self.stats.stage_dispatch_cycles += 1
+        for hook in self._cycle_hooks:
+            hook(self)
+        self.cycle += 1
+        return True
+
+    def finish(self) -> CoreStats:
+        """Seal and return the statistics after the machine halts."""
         self.stats.cycles = self.cycle + 1
         return self.stats
+
+    def run(self) -> CoreStats:
+        self.start()
+        while self.step():
+            pass
+        return self.finish()
 
 
 def simulate_core(

@@ -15,9 +15,8 @@ has retired or been squashed.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-
 from ..isa import Instruction
+from .soa import OrderIndex
 
 _SPACING = 1 << 16
 
@@ -133,7 +132,12 @@ class DynInstr:
 class ReorderBuffer:
     """Doubly-linked list with order keys and segment capacity."""
 
-    def __init__(self, window_size: int, segment_size: int = 1):
+    def __init__(
+        self,
+        window_size: int,
+        segment_size: int = 1,
+        soa_backend: str | None = None,
+    ):
         if window_size % segment_size:
             raise ValueError("window_size must be a multiple of segment_size")
         self.window_size = window_size
@@ -147,12 +151,13 @@ class ReorderBuffer:
         self.count = 0  # live instructions
         self.segments_allocated = 0
         #: sorted order keys of every linked (alive) instruction — the
-        #: incremental position index behind :meth:`index_of`.  Orders are
-        #: unique (``_place`` renumbers before a gap collapses), so one
-        #: bisect recovers a node's window position in O(log n) instead of
-        #: the O(window) head-to-node scan the golden-trace matching paid
-        #: per branch completion.
-        self._alive_orders: list[int] = []
+        #: incremental position index behind :meth:`index_of`, kept as a
+        #: dense int64 column (:class:`repro.core.soa.OrderIndex`).
+        #: Orders are unique (``_place`` renumbers before a gap
+        #: collapses), so one bisect recovers a node's window position in
+        #: O(log n) instead of the O(window) head-to-node scan the
+        #: golden-trace matching paid per branch completion.
+        self._alive_orders = OrderIndex(window_size, backend=soa_backend)
 
     # ------------------------------------------------------------------
     # capacity
@@ -188,13 +193,13 @@ class ReorderBuffer:
     def _renumber(self) -> None:
         order = 0
         node = self.head_sentinel
+        linked = -2  # exclude both sentinels from the count
         while node is not None:
             node.order = order
             order += _SPACING
             node = node.next
-        self._alive_orders = [
-            n.order for n in self.iter_from(self.head_sentinel.next)
-        ]
+            linked += 1
+        self._alive_orders.renumber(linked, _SPACING)
 
     def _place(self, node: DynInstr, after: DynInstr) -> None:
         succ = after.next
@@ -202,6 +207,12 @@ class ReorderBuffer:
         node.next = succ
         after.next = node
         succ.prev = node
+        # NOTE: appends could avoid the midpoint gap-halving (and hence
+        # nearly all renumbers) by extending the tail's key range, but
+        # the ready heap captures ``node.order`` in its sort keys at push
+        # time — renumber *timing* is observable through stale-key
+        # tie-breaks, and the golden equivalence gate pins it.  Keys and
+        # renumber points must stay exactly the seed's.
         lo, hi = after.order, succ.order
         if hi - lo < 2:
             # Renumbering rebuilds the position index with ``node``
@@ -212,18 +223,24 @@ class ReorderBuffer:
             node.order = (lo + hi) // 2
             return
         node.order = (lo + hi) // 2
-        insort(self._alive_orders, node.order)
+        self._alive_orders.insert(node.order)
 
-    def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment:
+    def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment | None:
         """Link ``node`` after ``after``; returns the segment used."""
         self._place(node, after)
+        self.count += 1
+        if self.segment_size == 1:
+            # One slot per instruction: capacity accounting is exactly
+            # ``count``, so allocating a Segment per dispatch would be
+            # pure bookkeeping overhead (node.segment stays None and
+            # ``_release`` skips it).
+            return None
         segment = self.alloc_into(segment)
         node.segment = segment
         segment.live += 1
-        self.count += 1
         return segment
 
-    def append(self, node: DynInstr, segment: Segment | None) -> Segment:
+    def append(self, node: DynInstr, segment: Segment | None) -> Segment | None:
         return self.insert_after(self.tail_sentinel.prev, node, segment)
 
     def remove(self, node: DynInstr) -> None:
@@ -232,8 +249,7 @@ class ReorderBuffer:
         node.next.prev = node.prev
         self._release(node)
         self.count -= 1
-        orders = self._alive_orders
-        del orders[bisect_left(orders, node.order)]
+        self._alive_orders.remove(node.order)
 
     def retire(self, node: DynInstr) -> None:
         """Unlink a retired instruction (same slot accounting as remove)."""
@@ -265,7 +281,7 @@ class ReorderBuffer:
         """Window position of a linked node: the number of alive
         instructions logically older than it (O(log n) via the
         incrementally maintained order index)."""
-        return bisect_left(self._alive_orders, node.order)
+        return self._alive_orders.position(node.order)
 
     def precedes(self, a: DynInstr, b: DynInstr) -> bool:
         """True if ``a`` is logically older than ``b``."""

@@ -1,0 +1,299 @@
+"""Structure-of-arrays hot-state columns for the detailed core.
+
+The detailed machine keeps most of its state as Python objects
+(``DynInstr`` nodes in a linked window), but the structures the cycle
+loop touches *per event* are re-expressed here as dense, preallocated
+columns:
+
+* :class:`OrderIndex` — the ROB's sorted order-key column (the position
+  index behind ``index_of`` and the sanitizer's ``order-index`` audit)
+  as a preallocated ``int64`` array.  Inserts and removes are C-speed
+  block moves, and a renumber refills the whole column with one
+  vectorized ``arange`` instead of a per-entry list rebuild.
+* :class:`CompletionWheel` — the completion-event schedule as a
+  preallocated ring of slot lists indexed by ``cycle & mask``, replacing
+  a ``dict[int, list]`` that paid a hash + ``setdefault`` per issued
+  instruction and a ``pop`` per cycle.  Nodes and reissue tokens live in
+  two parallel lists per slot (structure of arrays, not an array of
+  tuples), so scheduling an event allocates nothing.
+
+Two interchangeable backends implement the integer column: ``numpy``
+(preferred when importable) and a pure-stdlib ``array('q')`` fallback,
+selected per structure by the ``REPRO_SOA`` environment variable
+(``numpy`` | ``fallback``; unset auto-selects by column capacity — see
+:func:`resolve_backend`).  Both
+backends are semantically identical — the golden equivalence suite runs
+the 18 committed cells through each and requires byte-identical
+statistics.
+
+Deliberately *not* columnar (measured, not assumed):
+
+* the ready list stays a ``heapq`` of ``(eligible, order, uid, node)``
+  tuples — CPython's C-implemented heap beats any Python-level
+  sift-up/down over parallel arrays at window-sized occupancies;
+* the rename map stays a list of ``PhysReg`` objects — converting tags
+  to integer handles would ripple through the sanitizer, the fault
+  injectors and the broadcast wakeup path for no measured win;
+* the LSQ's unresolved-store subset stays a keyed dict — its entries'
+  order keys would go stale on a ROB renumber, and the subset is
+  near-empty in steady state.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_left, insort
+
+try:  # optional dependency: the stdlib fallback is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_SOA=fallback
+    _np = None
+
+#: backends accepted by ``REPRO_SOA`` / :func:`resolve_backend`
+BACKENDS = ("numpy", "fallback")
+
+_MIN_CAPACITY = 64
+
+#: capacity below which auto-selection prefers the stdlib column: numpy's
+#: per-element calls (searchsorted, scalar boxing on compare/assign) cost
+#: more than they save until the column is large enough for its C block
+#: moves and vectorized renumber to amortize them (measured: ~30% slower
+#: at the paper's 256-entry window, ahead by ~4k entries)
+NUMPY_MIN_CAPACITY = 4096
+
+
+def resolve_backend(name: str | None = None, capacity: int | None = None) -> str:
+    """Resolve a backend name (or the ``REPRO_SOA`` env var) to one of
+    :data:`BACKENDS`.
+
+    An explicit name (argument or environment) always wins.  Unset picks
+    numpy only when it is importable *and* the column is large enough to
+    profit (:data:`NUMPY_MIN_CAPACITY`); paper-scale windows go to the
+    stdlib column, which is faster there.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SOA", "") or None
+    if name is None:
+        if _np is None:
+            return "fallback"
+        if capacity is not None and capacity < NUMPY_MIN_CAPACITY:
+            return "fallback"
+        return "numpy"
+    name = name.lower()
+    if name == "array":  # accepted alias for the stdlib backend
+        name = "fallback"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown SoA backend {name!r}; expected one of {BACKENDS} "
+            "(REPRO_SOA)"
+        )
+    if name == "numpy" and _np is None:
+        raise ValueError("REPRO_SOA=numpy but numpy is not importable")
+    return name
+
+
+class OrderIndex:
+    """Sorted ``int64`` column of the window's order keys.
+
+    Supports the exact surface the ROB, the sanitizer and the
+    fault-injection layer use: sorted insert/remove by value,
+    ``bisect_left`` position lookup, full renumber, and list-like
+    indexing (``len``/``[]``/iteration) so audits and injected faults
+    see one flat integer column.  ``OrderIndex(capacity, backend)``
+    builds the backend-specific subclass; both subclasses are
+    semantically identical and golden-gated.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    backend = "abstract"
+
+    def __new__(cls, capacity: int = _MIN_CAPACITY, backend: str | None = None):
+        if cls is OrderIndex:
+            resolved = resolve_backend(backend, capacity)
+            cls = _NumpyOrderIndex if resolved == "numpy" else _ArrayOrderIndex
+        return object.__new__(cls)
+
+    def __init__(self, capacity: int = _MIN_CAPACITY, backend: str | None = None):
+        self._buf = self._alloc(max(int(capacity), _MIN_CAPACITY))
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # sequence surface (sanitizer audits, fault injectors)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return self.tolist()[i]
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError("OrderIndex index out of range")
+        return self._buf[i]
+
+    def __setitem__(self, i, value) -> None:
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError("OrderIndex index out of range")
+        self._buf[i] = value
+
+    def __iter__(self):
+        buf = self._buf
+        for i in range(self._n):
+            yield buf[i]
+
+    def tolist(self) -> list[int]:
+        return list(self._buf[: self._n])
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"OrderIndex({self.tolist()!r}, backend={self.backend!r})"
+
+    # ------------------------------------------------------------------
+    # sorted-column operations
+
+    def _grow(self) -> None:
+        fresh = self._alloc(2 * len(self._buf))
+        fresh[: self._n] = self._buf[: self._n]
+        self._buf = fresh
+
+    def insert(self, order: int) -> None:
+        n = self._n
+        if n == len(self._buf):
+            self._grow()
+        buf = self._buf
+        if n and buf[n - 1] < order:  # append fast path (frontier fetch)
+            buf[n] = order
+        else:
+            i = self.position(order)
+            buf[i + 1 : n + 1] = buf[i:n]  # overlap-safe in both backends
+            buf[i] = order
+        self._n = n + 1
+
+    def remove(self, order: int) -> None:
+        n = self._n
+        i = self.position(order)
+        buf = self._buf
+        buf[i : n - 1] = buf[i + 1 : n]
+        self._n = n - 1
+
+    def renumber(self, count: int, spacing: int) -> None:
+        """Refill the column with ``spacing * (1..count)`` — the key
+        layout a ROB renumber assigns — in one bulk write."""
+        while count > len(self._buf):
+            self._grow()
+        self._refill(count, spacing)
+        self._n = count
+
+    def rebuild(self, orders) -> None:
+        """Replace the column's contents with ``orders`` (already sorted)."""
+        orders = list(orders)
+        while len(orders) > len(self._buf):
+            self._grow()
+        self._assign(orders)
+        self._n = len(orders)
+
+
+def _refill_template(spacing: int, count: int, _cache={}):
+    """Shared, lazily grown ``spacing * (1..n)`` template: a renumber
+    refill becomes one block copy instead of materializing a fresh
+    range per renumber (renumbers fire every ~16 appends)."""
+    template = _cache.get(spacing)
+    if template is None or len(template) < count:
+        size = max(count, 2 * len(template) if template is not None else 256)
+        template = array("q", range(spacing, (size + 1) * spacing, spacing))
+        _cache[spacing] = template
+    return template
+
+
+class _ArrayOrderIndex(OrderIndex):
+    """Stdlib ``array('q')`` column — no dependencies, and the faster
+    choice at paper-scale window sizes."""
+
+    __slots__ = ()
+
+    backend = "fallback"
+
+    @staticmethod
+    def _alloc(capacity: int):
+        return array("q", bytes(8 * capacity))
+
+    def position(self, order: int) -> int:
+        """``bisect_left`` of ``order`` in the column."""
+        return bisect_left(self._buf, order, 0, self._n)
+
+    def _refill(self, count: int, spacing: int) -> None:
+        self._buf[:count] = _refill_template(spacing, count)[:count]
+
+    def _assign(self, orders: list) -> None:
+        self._buf[: len(orders)] = array("q", orders)
+
+
+class _NumpyOrderIndex(OrderIndex):
+    """numpy ``int64`` column — vectorized renumber/refill, preferred for
+    large windows."""
+
+    __slots__ = ()
+
+    backend = "numpy"
+
+    @staticmethod
+    def _alloc(capacity: int):
+        return _np.empty(capacity, dtype=_np.int64)
+
+    def position(self, order: int) -> int:
+        """``bisect_left`` of ``order`` in the column."""
+        return int(_np.searchsorted(self._buf[: self._n], order))
+
+    def _refill(self, count: int, spacing: int) -> None:
+        template = _refill_template(spacing, count)
+        self._buf[:count] = _np.frombuffer(template, dtype=_np.int64, count=count)
+
+    def _assign(self, orders: list) -> None:
+        self._buf[: len(orders)] = orders
+
+    def tolist(self) -> list[int]:
+        return self._buf[: self._n].tolist()
+
+
+class CompletionWheel:
+    """Preallocated ring buffer of completion events.
+
+    ``schedule(cycle, node, token)`` files an event at an absolute cycle;
+    ``take(cycle)`` returns the slot's parallel ``(nodes, tokens)`` lists
+    for draining (caller clears them after iterating).  The horizon must
+    exceed the largest possible completion latency so a slot can never
+    hold events for two different cycles — the constructor rounds it up
+    to a power of two and asserts on violation at schedule time.
+    """
+
+    __slots__ = ("horizon", "_mask", "_nodes", "_tokens")
+
+    def __init__(self, max_latency: int):
+        horizon = 1
+        while horizon <= max_latency + 1:
+            horizon *= 2
+        self.horizon = horizon
+        self._mask = horizon - 1
+        self._nodes = [[] for _ in range(horizon)]
+        self._tokens = [[] for _ in range(horizon)]
+
+    def schedule(self, cycle: int, now: int, node, token: int) -> None:
+        if cycle - now >= self.horizon:  # pragma: no cover - sizing bug guard
+            raise AssertionError(
+                f"completion latency {cycle - now} exceeds wheel horizon "
+                f"{self.horizon}"
+            )
+        slot = cycle & self._mask
+        self._nodes[slot].append(node)
+        self._tokens[slot].append(token)
+
+    def take(self, cycle: int) -> tuple[list, list]:
+        slot = cycle & self._mask
+        return self._nodes[slot], self._tokens[slot]
+
+
+__all__ = ["BACKENDS", "CompletionWheel", "OrderIndex", "resolve_backend"]

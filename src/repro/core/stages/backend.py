@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 
-from ...isa import evaluate
+from ...isa import CONTROL_KERNELS, VALUE_KERNELS, effective_addr
 from ..rob import DynInstr
 
 
@@ -32,7 +32,7 @@ class BackendStage:
 
     def _wake(self, node: DynInstr, eligible: int) -> None:
         """A source tag broadcast a new value (or rename repair): reissue."""
-        if not node.alive:
+        if node.retired or node.squashed:
             return
         if node.issue_count == 0 and not self._operands_ready(node):
             return
@@ -52,7 +52,7 @@ class BackendStage:
                 break
             pop(ready)
             node.in_ready = False
-            if not node.alive:
+            if node.retired or node.squashed:
                 continue
             self._execute(node)
             budget -= 1
@@ -69,45 +69,61 @@ class BackendStage:
             node.reissued_after_mp = True
         node.inflight = True
         instr = node.instr
-        a = node.src1_tag.value if node.src1_tag is not None else 0
-        b = node.src2_tag.value if node.src2_tag is not None else 0
-        if node.src1_tag is not None:
-            node.src1_version = node.src1_tag.version
-        if node.src2_tag is not None:
-            node.src2_version = node.src2_tag.version
-        result = evaluate(instr, node.pc, a, b)
-        latency = self._lat[instr.opcode]
-        if instr.f_load:
-            node.addr = result.addr
-            latency = 1 + self.cache.access(result.addr)
-        elif instr.f_store:
-            node.prev_addr = node.addr
-            node.addr = result.addr
-            node.store_value = result.store_value
-        elif instr.f_control:
-            node.outcome_taken = result.taken
-            node.outcome_next_pc = result.next_pc
-            node.value = result.value  # call link address
+        t1, t2 = node.src1_tag, node.src2_tag
+        if t1 is not None:
+            a = t1.value
+            node.src1_version = t1.version
         else:
-            node.value = result.value
-        done = self.cycle + latency
-        self._completing.setdefault(done, []).append((node, node.issue_count))
+            a = 0
+        if t2 is not None:
+            b = t2.value
+            node.src2_version = t2.version
+        else:
+            b = 0
+        # Dispatch straight to the shared raw kernels (single semantic
+        # definition in repro.isa.instructions) — the ExecResult wrapper
+        # evaluate() builds per call is pure allocation on this path.
+        opcode = instr.opcode
+        if instr.f_mem:
+            addr = effective_addr(instr, a)
+            if instr.f_load:
+                node.addr = addr
+                latency = 1 + self.cache.access(addr)
+            else:
+                node.prev_addr = node.addr
+                node.addr = addr
+                node.store_value = b
+                latency = self._lat[opcode]
+        elif instr.f_control:
+            taken, next_pc, value = CONTROL_KERNELS[opcode](instr, node.pc, a, b)
+            node.outcome_taken = taken
+            node.outcome_next_pc = next_pc
+            node.value = value  # call link address
+            latency = self._lat[opcode]
+        else:
+            node.value = VALUE_KERNELS[opcode](instr, a, b)
+            latency = self._lat[opcode]
+        self._completing.schedule(
+            self.cycle + latency, self.cycle, node, node.issue_count
+        )
 
     # ==================================================================
     # completion
 
     def _complete_phase(self) -> None:
-        events = self._completing.pop(self.cycle, None)
-        if events:
-            for node, token in events:
-                if not node.alive or token != node.issue_count:
+        nodes, tokens = self._completing.take(self.cycle)
+        if nodes:
+            for i, node in enumerate(nodes):
+                if node.retired or node.squashed or tokens[i] != node.issue_count:
                     continue
                 node.inflight = False
                 self._complete(node)
+            nodes.clear()
+            tokens.clear()
         if self._pending_branches:
             still_pending: list[tuple[DynInstr, int]] = []
             for node, token in self._pending_branches:
-                if not node.alive or token != node.issue_count:
+                if node.retired or node.squashed or token != node.issue_count:
                     continue
                 if not self._try_complete_branch(node):
                     still_pending.append((node, token))
@@ -155,7 +171,7 @@ class BackendStage:
             cycle = self.cycle
             dead = 0
             for consumer in tag.consumers:
-                if consumer.alive:
+                if not (consumer.retired or consumer.squashed):
                     if consumer is not node:
                         wake(consumer, cycle)
                 else:

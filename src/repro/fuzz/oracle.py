@@ -41,6 +41,7 @@ from ..errors import (
 )
 from ..functional import run as run_functional
 from ..functional.state import ArchState
+from ..harness.batch import run_batch
 from ..harness.spec import WorkloadBundle
 from ..isa import NUM_REGS, Program
 from ..machines import MACHINES, get_machine
@@ -205,7 +206,10 @@ def _run_detailed(name: str, machine, bundle, ref: ArchState, overrides):
         bundle.golden,
         bundle.reconv,
     )
-    stats = processor.run()
+    if machine.kernel == "batched":
+        stats = run_batch([processor])[0]
+    else:
+        stats = processor.run()
     regs = [processor.retired_map[index].value for index in range(NUM_REGS)]
     divergences = _compare_arch_state(name, regs, processor.committed_mem, ref)
     return stats, divergences

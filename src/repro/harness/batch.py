@@ -1,0 +1,75 @@
+"""Array-batched driver for independent detailed-machine cells.
+
+The detailed :class:`~repro.core.processor.Processor` exposes a
+resumable cycle loop (``start()``/``step()``/``finish()``);
+:func:`run_batch` drives several *independent* machines — same family,
+different workloads or configurations — through one Python-level loop,
+advancing each by one cycle per round.  Round-robin interleaving does
+not change any machine's result: processors share no mutable state, so
+the statistics of a batched run are byte-identical to running each
+machine serially (the golden equivalence suite enforces this for both
+SoA backends).
+
+What batching buys is driver-level, not semantic: one shared loop frame
+amortizes per-run overhead, and the garbage collector is paused for the
+whole batch instead of churning through every machine's allocation
+bursts (each processor allocates a window of ``DynInstr`` nodes up
+front and then mutates in place, so pauses are cheap and collections
+mid-run are pure overhead).
+
+``batch_enabled`` resolves the ``batch=`` knob threaded through
+:func:`repro.harness.spec.run_spec` / ``run_study`` against the
+``REPRO_BATCH`` environment variable.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+_TRUE = frozenset(("1", "true", "on", "yes"))
+_FALSE = frozenset(("", "0", "false", "off", "no"))
+
+
+def batch_enabled(batch: bool | None = None) -> bool:
+    """Resolve a ``batch=`` knob: explicit argument wins, else the
+    ``REPRO_BATCH`` environment variable, else off."""
+    if batch is not None:
+        return bool(batch)
+    raw = os.environ.get("REPRO_BATCH", "").strip().lower()
+    if raw in _TRUE:
+        return True
+    if raw in _FALSE:
+        return False
+    raise ValueError(
+        f"REPRO_BATCH={raw!r} not understood; use one of "
+        f"{sorted(_TRUE)} or {sorted(_FALSE)}"
+    )
+
+
+def run_batch(processors):
+    """Step independent processors round-robin to completion.
+
+    Returns each machine's sealed :class:`~repro.core.stats.CoreStats`
+    in input order.  Exceptions (hangs, sanitizer faults) propagate
+    exactly as they would from a serial ``run()`` — the batch stops at
+    the first failure, matching ``run_spec``'s serial cell semantics —
+    and the collector is always restored.
+    """
+    procs = list(processors)
+    for proc in procs:
+        proc.start()
+    active = procs
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while active:
+            active = [proc for proc in active if proc.step()]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return [proc.finish() for proc in procs]
+
+
+__all__ = ["batch_enabled", "run_batch"]

@@ -346,12 +346,34 @@ def get_default_cache() -> ArtifactCache:
         return _default
 
 
+# A plain (non-f) docstring renders the placeholder literally; an
+# f-string would not survive as __doc__ at all.  Substitute here.
+get_default_cache.__doc__ = get_default_cache.__doc__.format(
+    DEFAULT_MAX_ENTRIES=DEFAULT_MAX_ENTRIES
+)
+
+
+#: sentinel distinguishing "caller did not pass disk_dir" (follow the
+#: REPRO_CACHE_DIR env var, like get_default_cache) from an explicit
+#: ``disk_dir=None`` (memory only)
+_ENV_DISK = object()
+
+
 def configure_default_cache(
-    max_entries: int | None = None, disk_dir: str | Path | None = None
+    max_entries: int | None = None, disk_dir: str | Path | None = _ENV_DISK
 ) -> ArtifactCache:
     """Replace the process-wide cache (parallel workers use this to
-    point at the study's shared disk layer)."""
+    point at the study's shared disk layer).
+
+    ``disk_dir`` defaults to the ``REPRO_CACHE_DIR`` env var — the same
+    resolution :func:`get_default_cache` applies — so reconfiguring only
+    the LRU size (``configure_default_cache(max_entries=N)``) keeps the
+    shared on-disk layer.  Pass ``disk_dir=None`` explicitly to get a
+    memory-only cache.
+    """
     global _default
+    if disk_dir is _ENV_DISK:
+        disk_dir = os.environ.get("REPRO_CACHE_DIR") or None
     with _default_lock:
         _default = ArtifactCache(
             max_entries=max_entries if max_entries is not None else _env_max_entries(),

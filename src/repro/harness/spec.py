@@ -55,6 +55,7 @@ from ..ideal.models import IdealModel
 from ..ideal.tracegen import AnnotatedTrace, annotate
 from ..machines import get_machine
 from ..workloads import WORKLOAD_NAMES, build_workload
+from .batch import batch_enabled, run_batch
 
 #: row shapes an :class:`ExperimentSpec` may fold its cells into
 SHAPES = ("grid", "map", "rows")
@@ -552,35 +553,56 @@ def _fold(spec: ExperimentSpec, workload: str, outcomes: list) -> Any:
     return data
 
 
-def run_spec_row(
-    name_or_spec,
+def _simulate_cells(
+    spec: ExperimentSpec,
     workload: str,
-    scale: float | None = None,
-    profile: SpecProfile | None = None,
-    cells=None,
-    **params,
-) -> CellRow:
-    """Execute every cell of one spec for one workload.
+    bundle,
+    plan: list,
+    batch: bool | None,
+    profile: SpecProfile | None,
+) -> list:
+    """Produce each planned cell's stats, serially or array-batched.
 
-    This is the unit the fault-isolated study runners (serial and
-    parallel) schedule, checkpoint and resume; the returned
-    :class:`CellRow` is the uniform row schema.  ``cells`` selects a
-    subset of the spec's cells by label (see :func:`select_cells`).
+    ``plan`` is ``[(cell, machine, collectors), ...]`` in spec order.
+    When batching is enabled (``batch=`` argument, else ``REPRO_BATCH``)
+    every detailed-family cell of the row advances through one
+    :func:`~repro.harness.batch.run_batch` driver loop; other families
+    run serially as before.  Results are byte-identical either way —
+    only wall clock changes — so profile entries for batched cells
+    record the batch's amortized per-cell share (the interleaved loop
+    has no meaningful per-cell split).
     """
-    spec = select_cells(resolve_spec(name_or_spec, params), cells)
-    if spec.derives is not None:
-        base = run_spec_row(
-            spec.derives, workload, scale=scale, profile=profile
-        )
-        data = TRANSFORMS[spec.transform](base.data)
-        return CellRow(experiment=spec.name, workload=workload, data=data)
-    if scale is None:
-        scale = spec.default_scale
-    bundle = _load_for(spec, workload, scale)
-    outcomes = []
-    for cell in spec.cells:
-        machine = cell.machine.resolve()
-        collectors = tuple(TFRCollector(scheme) for scheme in cell.tfr)
+    results: list = [None] * len(plan)
+    batched: list[int] = []
+    if batch_enabled(batch):
+        batched = [
+            i
+            for i, (_, machine, _) in enumerate(plan)
+            if machine.family == "detailed"
+        ]
+    if batched:
+        procs = [
+            plan[i][1].processor(
+                bundle, dict(plan[i][0].machine.overrides), plan[i][2]
+            )
+            for i in batched
+        ]
+        t0 = time.perf_counter() if profile is not None else 0.0
+        stats = run_batch(procs)
+        for i, stat in zip(batched, stats):
+            results[i] = stat
+        if profile is not None:
+            share = (time.perf_counter() - t0) / len(procs)
+            for i in batched:
+                profile.record(
+                    f"{spec.name}/{workload}/{plan[i][0].label}",
+                    share,
+                    results[i],
+                )
+    skip = set(batched)
+    for i, (cell, machine, collectors) in enumerate(plan):
+        if i in skip:
+            continue
         t0 = time.perf_counter() if profile is not None else 0.0
         result = machine.simulate(
             bundle,
@@ -593,6 +615,50 @@ def run_spec_row(
                 time.perf_counter() - t0,
                 result,
             )
+        results[i] = result
+    return results
+
+
+def run_spec_row(
+    name_or_spec,
+    workload: str,
+    scale: float | None = None,
+    profile: SpecProfile | None = None,
+    cells=None,
+    batch: bool | None = None,
+    **params,
+) -> CellRow:
+    """Execute every cell of one spec for one workload.
+
+    This is the unit the fault-isolated study runners (serial and
+    parallel) schedule, checkpoint and resume; the returned
+    :class:`CellRow` is the uniform row schema.  ``cells`` selects a
+    subset of the spec's cells by label (see :func:`select_cells`);
+    ``batch`` routes the row's detailed-family cells through the
+    array-batched driver (default: the ``REPRO_BATCH`` environment
+    variable), with byte-identical rows either way.
+    """
+    spec = select_cells(resolve_spec(name_or_spec, params), cells)
+    if spec.derives is not None:
+        base = run_spec_row(
+            spec.derives, workload, scale=scale, profile=profile, batch=batch
+        )
+        data = TRANSFORMS[spec.transform](base.data)
+        return CellRow(experiment=spec.name, workload=workload, data=data)
+    if scale is None:
+        scale = spec.default_scale
+    bundle = _load_for(spec, workload, scale)
+    plan = [
+        (
+            cell,
+            cell.machine.resolve(),
+            tuple(TFRCollector(scheme) for scheme in cell.tfr),
+        )
+        for cell in spec.cells
+    ]
+    results = _simulate_cells(spec, workload, bundle, plan, batch, profile)
+    outcomes = []
+    for (cell, machine, collectors), result in zip(plan, results):
         ctx = CellContext(
             spec=spec,
             cell=cell,
@@ -621,6 +687,7 @@ def run_spec(
     names=None,
     profile: SpecProfile | None = None,
     cells=None,
+    batch: bool | None = None,
     **params,
 ) -> Any:
     """Run one registered artifact end to end.
@@ -630,17 +697,21 @@ def run_spec(
     engine), so formatters, benchmarks and checkpoints see identical
     rows.  ``names`` selects workloads; ``cells`` selects cells by label
     (:func:`select_cells`); builder knobs (``windows=...``,
-    ``segments=...``) re-materialize the spec through its builder.
+    ``segments=...``) re-materialize the spec through its builder;
+    ``batch`` (default: ``REPRO_BATCH``) array-batches each row's
+    detailed cells with byte-identical results.
     """
     spec = select_cells(resolve_spec(name_or_spec, params), cells)
     if spec.derives is not None:
         base_spec = resolve_spec(spec.derives)
-        base = run_spec(base_spec, scale=scale, names=names, profile=profile)
+        base = run_spec(
+            base_spec, scale=scale, names=names, profile=profile, batch=batch
+        )
         return derive(spec, base)
     if names is None:
         names = spec.workloads
     rows = [
-        run_spec_row(spec, workload, scale=scale, profile=profile)
+        run_spec_row(spec, workload, scale=scale, profile=profile, batch=batch)
         for workload in names
     ]
     return assemble_rows(spec, rows)

@@ -315,7 +315,12 @@ class IdealScheduler:
         # Oldest work first: restart segments and the frontier compete by
         # their next fetch position, and only the oldest source may evict
         # younger window contents to make room (paper Section 3.2.2).
-        sources = sorted([*self.segments, self.frontier], key=lambda s: s.pos)
+        # Most cycles have no restart segments in flight — skip the sort
+        # (and the per-cycle list allocations) entirely then.
+        if self.segments:
+            sources = sorted([*self.segments, self.frontier], key=lambda s: s.pos)
+        else:
+            sources = (self.frontier,)
         for index, source in enumerate(sources):
             may_evict = index == 0
             while budget > 0:
@@ -334,7 +339,8 @@ class IdealScheduler:
                 budget -= 1
             if budget == 0:
                 break
-        self.segments = [s for s in self.segments if not self._segment_done(s)]
+        if self.segments:
+            self.segments = [s for s in self.segments if not self._segment_done(s)]
 
     def _squash_youngest(self, needed_before: int) -> bool:
         """Squash the youngest in-window correct instruction (seq greater

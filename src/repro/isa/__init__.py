@@ -11,9 +11,12 @@ from .instructions import (
     REG_RA,
     REG_SP,
     REG_ZERO,
+    CONTROL_KERNELS,
+    VALUE_KERNELS,
     ExecResult,
     Instruction,
     Op,
+    effective_addr,
     evaluate,
     to_signed,
 )
@@ -30,12 +33,15 @@ __all__ = [
     "REG_SP",
     "REG_ZERO",
     "AssemblerError",
+    "CONTROL_KERNELS",
     "ExecResult",
     "Instruction",
     "Op",
     "Program",
+    "VALUE_KERNELS",
     "assemble",
     "disassemble",
+    "effective_addr",
     "evaluate",
     "to_signed",
 ]

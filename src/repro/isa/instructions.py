@@ -255,72 +255,120 @@ def _alu(op: Op, a: int, b: int) -> int:
 NUM_OPCODES = max(op.value for op in Op) + 1
 
 
+def effective_addr(instr: Instruction, a: int) -> int:
+    """Effective address of a memory instruction given its base value."""
+    return to_signed(a + instr.imm)
+
+
+def _make_raw_tables() -> tuple[list, list]:
+    """Build the allocation-free per-opcode kernels.
+
+    ``VALUE_KERNELS[opcode](instr, a, b)`` returns the register result of
+    a non-memory, non-control instruction (None for NOP/HALT);
+    ``CONTROL_KERNELS[opcode](instr, pc, a, b)`` returns
+    ``(taken, next_pc, value)`` for a control instruction (``value`` is
+    the call link address, else None).  The out-of-order core's execute
+    stage reads these directly so its hot loop allocates no result
+    object per issued instruction; :func:`evaluate`'s ``ExecResult``
+    handlers are rebuilt on top of the same kernels, keeping a single
+    definition of every opcode's semantics (``_alu`` remains the one
+    arithmetic definition)."""
+
+    def alu_rr(op: Op):
+        def kernel(instr, a, b, _op=op):
+            return _alu(_op, a, b)
+
+        return kernel
+
+    def alu_ri(op: Op):
+        def kernel(instr, a, b, _op=op):
+            return _alu(_op, a, instr.imm)
+
+        return kernel
+
+    def li(instr, a, b):
+        return to_signed(instr.imm)
+
+    def nothing(instr, a, b):
+        return None
+
+    def branch(cmp):
+        def kernel(instr, pc, a, b, _cmp=cmp):
+            taken = _cmp(a, b)
+            return taken, (instr.target if taken else pc + 1), None
+
+        return kernel
+
+    def jump(instr, pc, a, b):
+        return True, instr.target, None
+
+    def call(instr, pc, a, b):
+        return True, instr.target, pc + 1
+
+    def jr(instr, pc, a, b):
+        return True, to_signed(a), None
+
+    values: list = [None] * NUM_OPCODES
+    control: list = [None] * NUM_OPCODES
+    for op in ALU_RR_OPS:
+        values[op.value] = alu_rr(op)
+    for op in ALU_RI_OPS:
+        values[op.value] = li if op is Op.LI else alu_ri(op)
+    values[Op.NOP.value] = nothing
+    values[Op.HALT.value] = nothing
+    control[Op.BEQ.value] = branch(lambda a, b: a == b)
+    control[Op.BNE.value] = branch(lambda a, b: a != b)
+    control[Op.BLT.value] = branch(lambda a, b: a < b)
+    control[Op.BGE.value] = branch(lambda a, b: a >= b)
+    control[Op.JUMP.value] = jump
+    control[Op.CALL.value] = call
+    control[Op.JR.value] = jr
+    return values, control
+
+
+VALUE_KERNELS, CONTROL_KERNELS = _make_raw_tables()
+
+
 def _make_eval_table() -> list:
     """Build the opcode-indexed handler table behind :func:`evaluate`.
 
     One closure per opcode replaces the frozenset-membership cascade the
-    simulators used to pay per dynamic instruction; semantics are
-    byte-for-byte those of the original if/elif chain (``_alu`` remains
-    the single arithmetic definition)."""
+    simulators used to pay per dynamic instruction.  Each handler wraps
+    the corresponding raw kernel from :func:`_make_raw_tables` in an
+    :class:`ExecResult`, so the semantics have exactly one definition."""
 
-    def alu_rr(op: Op):
-        def handler(instr, pc, a, b, _op=op):
-            return ExecResult(value=_alu(_op, a, b), next_pc=pc + 1)
-
-        return handler
-
-    def alu_ri(op: Op):
-        def handler(instr, pc, a, b, _op=op):
-            return ExecResult(value=_alu(_op, a, instr.imm), next_pc=pc + 1)
+    def value_handler(kernel):
+        def handler(instr, pc, a, b, _kernel=kernel):
+            return ExecResult(value=_kernel(instr, a, b), next_pc=pc + 1)
 
         return handler
 
-    def li(instr, pc, a, b):
-        return ExecResult(value=to_signed(instr.imm), next_pc=pc + 1)
+    def control_handler(kernel):
+        def handler(instr, pc, a, b, _kernel=kernel):
+            taken, next_pc, value = _kernel(instr, pc, a, b)
+            return ExecResult(value=value, taken=taken, next_pc=next_pc)
+
+        return handler
 
     def load(instr, pc, a, b):
-        return ExecResult(addr=to_signed(a + instr.imm), next_pc=pc + 1)
+        return ExecResult(addr=effective_addr(instr, a), next_pc=pc + 1)
 
     def store(instr, pc, a, b):
-        return ExecResult(addr=to_signed(a + instr.imm), store_value=b, next_pc=pc + 1)
-
-    def branch(cmp):
-        def handler(instr, pc, a, b, _cmp=cmp):
-            taken = _cmp(a, b)
-            return ExecResult(taken=taken, next_pc=instr.target if taken else pc + 1)
-
-        return handler
-
-    def jump(instr, pc, a, b):
-        return ExecResult(taken=True, next_pc=instr.target)
-
-    def call(instr, pc, a, b):
-        return ExecResult(value=pc + 1, taken=True, next_pc=instr.target)
-
-    def jr(instr, pc, a, b):
-        return ExecResult(taken=True, next_pc=to_signed(a))
-
-    def nop(instr, pc, a, b):
-        return ExecResult(next_pc=pc + 1)
+        return ExecResult(
+            addr=effective_addr(instr, a), store_value=b, next_pc=pc + 1
+        )
 
     def halt(instr, pc, a, b):
         return ExecResult(next_pc=pc + 1, halted=True)
 
     table: list = [None] * NUM_OPCODES
-    for op in ALU_RR_OPS:
-        table[op.value] = alu_rr(op)
-    for op in ALU_RI_OPS:
-        table[op.value] = li if op is Op.LI else alu_ri(op)
+    for op in Op:
+        if VALUE_KERNELS[op.value] is not None:
+            table[op.value] = value_handler(VALUE_KERNELS[op.value])
+        elif CONTROL_KERNELS[op.value] is not None:
+            table[op.value] = control_handler(CONTROL_KERNELS[op.value])
     table[Op.LOAD.value] = load
     table[Op.STORE.value] = store
-    table[Op.BEQ.value] = branch(lambda a, b: a == b)
-    table[Op.BNE.value] = branch(lambda a, b: a != b)
-    table[Op.BLT.value] = branch(lambda a, b: a < b)
-    table[Op.BGE.value] = branch(lambda a, b: a >= b)
-    table[Op.JUMP.value] = jump
-    table[Op.CALL.value] = call
-    table[Op.JR.value] = jr
-    table[Op.NOP.value] = nop
     table[Op.HALT.value] = halt
     return table
 

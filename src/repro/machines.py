@@ -35,7 +35,7 @@ runner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from .core import CoreConfig, Processor, ReconvPolicy
@@ -50,6 +50,9 @@ FAMILIES = ("detailed", "ideal", "functional")
 #: prefix under which the six ideal models are registered
 IDEAL_PREFIX = "ideal/"
 
+#: suffix under which the array-batched detailed variants are registered
+BATCH_SUFFIX = "@batch"
+
 
 @dataclass(frozen=True)
 class Machine:
@@ -62,6 +65,10 @@ class Machine:
     knobs: tuple[tuple[str, Any], ...] = ()
     #: the idealized model, for family "ideal"
     model: IdealModel | None = None
+    #: cycle-loop driver for family "detailed": "scalar" runs the
+    #: processor's own loop, "batched" routes through the batch driver
+    #: (:mod:`repro.harness.batch`) — statistics are byte-identical
+    kernel: str = "scalar"
 
     # -- configuration materialization ---------------------------------
 
@@ -85,6 +92,22 @@ class Machine:
 
     # -- simulation ----------------------------------------------------
 
+    def processor(self, bundle, overrides=None, tfr_collectors: tuple = ()):
+        """Build this machine's (unrun) detailed-core processor.
+
+        This is the unit the batch driver steps: :func:`repro.harness
+        .spec.run_spec_row` collects one per detailed cell and advances
+        them together through :func:`repro.harness.batch.run_batch`.
+        """
+        overrides = dict(overrides) if overrides else {}
+        return Processor(
+            bundle.program,
+            self.core_config(**overrides),
+            bundle.golden,
+            bundle.reconv,
+            tfr_collectors=tfr_collectors,
+        )
+
     def simulate(self, bundle, overrides=None, tfr_collectors: tuple = ()):
         """Run this machine over a prepared workload bundle.
 
@@ -97,14 +120,14 @@ class Machine:
         """
         overrides = dict(overrides) if overrides else {}
         if self.family == "detailed":
-            config = self.core_config(**overrides)
-            return Processor(
-                bundle.program,
-                config,
-                bundle.golden,
-                bundle.reconv,
-                tfr_collectors=tfr_collectors,
-            ).run()
+            proc = self.processor(bundle, overrides, tfr_collectors)
+            if self.kernel == "batched":
+                # Local import: the harness consumes this registry
+                # everywhere else; only the batched kernel flows back in.
+                from .harness.batch import run_batch
+
+                return run_batch([proc])[0]
+            return proc.run()
         if tfr_collectors:
             raise ConfigError(
                 f"machine {self.name!r} is {self.family}; TFR collectors "
@@ -204,6 +227,30 @@ MACHINES: dict[str, Machine] = {
 DETAILED_MACHINE_NAMES = ("BASE", "CI", "CI-I")
 
 
+def _batched(machine: Machine) -> Machine:
+    return replace(
+        machine,
+        name=machine.name + BATCH_SUFFIX,
+        description=machine.description + " (array-batched cycle driver)",
+        kernel="batched",
+    )
+
+
+# Register the array-batched variants of the Figure 5 machines.  They
+# are first-class registry entries so the differential-fuzzing oracle
+# (which defaults to every machine) and the golden equivalence suite
+# exercise the batched driver on the same cells as the scalar one.
+for _name in DETAILED_MACHINE_NAMES:
+    _variant = _batched(MACHINES[_name])
+    MACHINES[_variant.name] = _variant
+del _name, _variant
+
+#: the array-batched twins of the Figure 5 machines
+BATCHED_MACHINE_NAMES = tuple(
+    name + BATCH_SUFFIX for name in DETAILED_MACHINE_NAMES
+)
+
+
 def get_machine(name: str) -> Machine:
     """Look up a registry machine, rejecting unknown names loudly."""
     try:
@@ -217,6 +264,11 @@ def get_machine(name: str) -> Machine:
 def ideal_machine(model: IdealModel) -> Machine:
     """The registry entry for one idealized model."""
     return MACHINES[f"{IDEAL_PREFIX}{model.value}"]
+
+
+def batched_machine(name: str) -> Machine:
+    """The array-batched twin of one detailed machine."""
+    return get_machine(name + BATCH_SUFFIX)
 
 
 def heuristic_machine(policy: ReconvPolicy) -> Machine:
@@ -244,12 +296,15 @@ def detailed_machines() -> dict[str, CoreConfig]:
 
 
 __all__ = [
+    "BATCHED_MACHINE_NAMES",
+    "BATCH_SUFFIX",
     "DETAILED_MACHINE_NAMES",
     "FAMILIES",
     "HEURISTIC_POLICIES",
     "IDEAL_PREFIX",
     "MACHINES",
     "Machine",
+    "batched_machine",
     "detailed_machines",
     "get_machine",
     "heuristic_machine",

@@ -1,0 +1,123 @@
+"""Array-batched cycle driver: knob resolution, round-robin stepping,
+and byte-identical wiring through the spec engine."""
+
+import gc
+
+import pytest
+
+from repro.core import CoreConfig, Processor, ReconvPolicy
+from repro.errors import SimulationHang
+from repro.harness import load_bundle
+from repro.harness.batch import batch_enabled, run_batch
+from repro.harness.spec import SpecProfile, run_spec, run_spec_row
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_bundle("go", SCALE)
+
+
+class TestBatchEnabled:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert batch_enabled(True) is True
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert batch_enabled(False) is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "YES"])
+    def test_env_truthy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH", raw)
+        assert batch_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["", "0", "false", "off", "No"])
+    def test_env_falsy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH", raw)
+        assert batch_enabled() is False
+
+    def test_unset_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_enabled() is False
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "sideways")
+        with pytest.raises(ValueError, match="REPRO_BATCH"):
+            batch_enabled()
+
+
+def _processors(bundle, n=2, **knobs):
+    return [
+        Processor(
+            bundle.program,
+            CoreConfig(window_size=64, **knobs),
+            bundle.golden,
+            bundle.reconv,
+        )
+        for _ in range(n)
+    ]
+
+
+class TestRunBatch:
+    def test_interleaved_equals_serial(self, bundle):
+        configs = (
+            dict(reconv_policy=ReconvPolicy.NONE),
+            dict(reconv_policy=ReconvPolicy.POSTDOM),
+            dict(reconv_policy=ReconvPolicy.POSTDOM, instant_redispatch=True),
+        )
+        serial = [
+            Processor(
+                bundle.program,
+                CoreConfig(window_size=64, **knobs),
+                bundle.golden,
+                bundle.reconv,
+            ).run()
+            for knobs in configs
+        ]
+        batched = run_batch(
+            Processor(
+                bundle.program,
+                CoreConfig(window_size=64, **knobs),
+                bundle.golden,
+                bundle.reconv,
+            )
+            for knobs in configs
+        )
+        assert batched == serial
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+    def test_results_in_input_order(self, bundle):
+        a, b = run_batch(_processors(bundle, 2))
+        assert a == b  # identical machines land in their own slots
+
+    def test_gc_restored_after_failure(self, bundle):
+        (proc,) = _processors(bundle, 1, max_cycles=5)
+        assert gc.isenabled()
+        with pytest.raises(SimulationHang):
+            run_batch([proc])
+        assert gc.isenabled(), "collector must be re-enabled on failure"
+
+
+class TestSpecWiring:
+    def test_run_spec_row_batched_is_byte_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        scalar = run_spec_row("figure5", "go", scale=SCALE)
+        batched = run_spec_row("figure5", "go", scale=SCALE, batch=True)
+        assert batched == scalar
+
+    def test_run_spec_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        scalar = run_spec("figure5", scale=SCALE, names=("go",))
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        batched = run_spec("figure5", scale=SCALE, names=("go",))
+        assert batched == scalar
+
+    def test_batched_profile_records_every_cell(self):
+        scalar_prof, batched_prof = SpecProfile(), SpecProfile()
+        run_spec_row("figure5", "go", scale=SCALE, profile=scalar_prof)
+        run_spec_row(
+            "figure5", "go", scale=SCALE, profile=batched_prof, batch=True
+        )
+        assert set(batched_prof.cells) == set(scalar_prof.cells)

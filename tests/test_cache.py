@@ -160,3 +160,24 @@ class TestDefaultCache:
     def test_configure_replaces_singleton(self, tmp_path):
         configure_default_cache(disk_dir=tmp_path)
         assert get_default_cache().disk_dir == tmp_path
+
+    def test_configure_size_only_keeps_env_disk_layer(self, tmp_path, monkeypatch):
+        # Regression: configure_default_cache(max_entries=N) used to pass
+        # disk_dir=None through, silently disabling the shared on-disk
+        # layer mid-study whenever only the LRU size was reconfigured.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        cache = configure_default_cache(max_entries=4)
+        assert cache.disk_dir == tmp_path / "shared"
+        assert cache._lru.max_entries == 4
+
+    def test_configure_explicit_none_means_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        cache = configure_default_cache(max_entries=4, disk_dir=None)
+        assert cache.disk_dir is None
+
+    def test_default_cache_docstring_renders_default(self):
+        from repro.harness.cache import DEFAULT_MAX_ENTRIES
+
+        doc = get_default_cache.__doc__
+        assert "{DEFAULT_MAX_ENTRIES}" not in doc
+        assert str(DEFAULT_MAX_ENTRIES) in doc

@@ -303,17 +303,40 @@ class TestCommittedCorpusReplay:
     )
     def test_replay(self, repro):
         program = repro.program()
+        machines = ("BASE", "CI", "BASE@batch", "CI@batch", "functional")
         report = run_oracle(
             program,
-            machines=("BASE", "CI", "functional"),
+            machines=machines,
             mutants=repro.mutants,
             overrides={"watchdog_cycles": 20_000},
             max_steps=500_000,
         )
         kinds = report.kinds()
-        # real machines stay clean ...
-        for machine in ("BASE", "CI", "functional"):
+        # real machines stay clean (through both cycle drivers) ...
+        for machine in machines:
             assert machine not in kinds, report.describe()
         # ... and the planted bug still diverges exactly as recorded
         for mutant, kind in repro.signature.items():
             assert kinds.get(mutant) == kind, report.describe()
+
+    @pytest.mark.parametrize(
+        "repro", load_corpus(CORPUS_DIR), ids=lambda r: r.name
+    )
+    def test_batched_kernel_matches_scalar_on_corpus(self, repro):
+        """Every committed reproducer yields byte-identical detailed
+        stats through the scalar and array-batched cycle drivers."""
+        import dataclasses
+
+        from repro.fuzz.oracle import program_bundle
+        from repro.machines import batched_machine, get_machine
+
+        bundle = program_bundle(repro.program())
+        overrides = {"watchdog_cycles": 20_000}
+        for name in ("BASE", "CI"):
+            scalar = get_machine(name).simulate(bundle, overrides=overrides)
+            batched = batched_machine(name).simulate(
+                bundle, overrides=overrides
+            )
+            assert dataclasses.asdict(scalar) == dataclasses.asdict(
+                batched
+            ), f"{repro.name}/{name}: batched kernel diverged from scalar"

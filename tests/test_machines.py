@@ -12,9 +12,12 @@ from repro.errors import ConfigError
 from repro.harness import load_bundle
 from repro.ideal import IdealConfig, IdealModel, simulate
 from repro.machines import (
+    BATCHED_MACHINE_NAMES,
+    BATCH_SUFFIX,
     DETAILED_MACHINE_NAMES,
     HEURISTIC_POLICIES,
     MACHINES,
+    batched_machine,
     detailed_machines,
     get_machine,
     heuristic_machine,
@@ -48,6 +51,17 @@ class TestRegistryContents:
 
     def test_postdom_heuristic_is_the_canonical_ci(self):
         assert heuristic_machine(ReconvPolicy.POSTDOM) is MACHINES["CI"]
+
+    def test_batched_variants_registered(self):
+        assert BATCHED_MACHINE_NAMES == tuple(
+            name + BATCH_SUFFIX for name in DETAILED_MACHINE_NAMES
+        )
+        for name in DETAILED_MACHINE_NAMES:
+            scalar, batched = MACHINES[name], batched_machine(name)
+            assert scalar.kernel == "scalar"
+            assert batched.kernel == "batched"
+            assert batched.family == "detailed"
+            assert batched.knobs == scalar.knobs  # same machine model
 
     def test_functional_machine_registered(self):
         assert MACHINES["functional"].family == "functional"
@@ -100,6 +114,13 @@ class TestUniformSimulate:
             bundle.reconv,
         ).run()
         assert via_registry == direct
+
+    def test_batched_variant_matches_scalar(self, bundle):
+        scalar = get_machine("CI").simulate(bundle, overrides={"window_size": 128})
+        batched = batched_machine("CI").simulate(
+            bundle, overrides={"window_size": 128}
+        )
+        assert scalar == batched
 
     def test_ideal_matches_direct_scheduler(self, bundle):
         via_registry = ideal_machine(IdealModel.WR_FD).simulate(
