@@ -1,0 +1,98 @@
+"""Mint a golden equivalence pickle for one ROB order scheme.
+
+``tests/goldens/equivalence.pkl`` (the v1 generation) was produced by
+the seed implementation and is never regenerated — it pins the seed's
+statistics bit-for-bit.  New golden *generations* are minted here: one
+pickle per order scheme, holding the same 18 cells (2 workloads x
+{BASE, CI, CI-I} detailed cores + the 6 idealized models), so
+``tests/test_equivalence.py`` can gate every scheme exactly.
+
+Usage::
+
+    PYTHONPATH=src python examples/mint_goldens.py v2 \
+        --out tests/goldens/equivalence_v2.pkl
+
+Minting is only half the provenance story: a freshly minted pickle is
+trusted only after the differential oracle shows the scheme's stats
+shifts are pure tie-break reordering (architectural state, retired
+counts and accounting invariants identical across schemes) — run
+``examples/fuzz_campaign.py`` and the oracle tests before committing
+one.  The script refuses to overwrite the v1 pickle: that file is the
+seed's testimony, not ours to re-issue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pickle
+import sys
+from pathlib import Path
+
+from repro.core import ORDER_SCHEMES, CoreConfig, Processor
+from repro.harness.experiments import load_bundle
+from repro.ideal.models import IdealConfig, IdealModel
+from repro.ideal.scheduler import simulate
+from repro.machines import DETAILED_MACHINE_NAMES, MACHINES
+
+WORKLOADS = ("compress", "go")
+SCALE = 0.12
+WINDOW = 256
+
+V1_PATH = Path(__file__).resolve().parent.parent / "tests" / "goldens" / "equivalence.pkl"
+
+
+def mint(scheme: str) -> dict:
+    """The 18-cell golden dict for one order scheme."""
+    goldens: dict = {}
+    for workload in WORKLOADS:
+        bundle = load_bundle(workload, SCALE)
+        for name in DETAILED_MACHINE_NAMES:
+            config = MACHINES[name].core_config(
+                window_size=WINDOW, order_scheme=scheme
+            )
+            stats = Processor(
+                bundle.program, config, bundle.golden, bundle.reconv
+            ).run()
+            goldens[("core", workload, name)] = dataclasses.asdict(stats)
+        for model in IdealModel:
+            r = simulate(
+                bundle.annotated(), model, IdealConfig(window_size=WINDOW)
+            )
+            goldens[("ideal", workload, model.value)] = {
+                "cycles": r.cycles,
+                "retired": r.retired,
+                "fetched_wrong_path": r.fetched_wrong_path,
+                "full_squashes": r.full_squashes,
+                "selective_squashes": r.selective_squashes,
+                "detections": r.detections,
+            }
+    return goldens
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("scheme", choices=ORDER_SCHEMES)
+    parser.add_argument("--out", required=True, help="output pickle path")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    if out.resolve() == V1_PATH:
+        print(
+            "refusing to overwrite tests/goldens/equivalence.pkl: the v1 "
+            "generation is the seed implementation's output and is never "
+            "regenerated",
+            file=sys.stderr,
+        )
+        return 2
+    CoreConfig(order_scheme=args.scheme).validate()
+    goldens = mint(args.scheme)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("wb") as f:
+        pickle.dump(goldens, f)
+    print(f"minted {len(goldens)} golden cells (order scheme {args.scheme}) -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

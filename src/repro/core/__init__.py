@@ -2,20 +2,29 @@
 
 from ..errors import CosimulationError, MachineSnapshot, SimulationHang
 from .config import (
+    ORDER_SCHEMES,
     CompletionModel,
     CoreConfig,
     Preemption,
     ReconvPolicy,
     RepredictMode,
+    resolve_order_scheme,
 )
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .processor import Processor, simulate_core
 from .regfile import PhysReg, RenameMap
 from .rob import DynInstr, ReorderBuffer, Segment
-from .stats import CoreStats
+from .stats import (
+    CoreStats,
+    ORDER_SCHEME_INVARIANT_FIELDS,
+    TIEBREAK_SENSITIVE_FIELDS,
+)
 
 __all__ = [
+    "ORDER_SCHEMES",
+    "ORDER_SCHEME_INVARIANT_FIELDS",
+    "TIEBREAK_SENSITIVE_FIELDS",
     "CompletionModel",
     "CoreConfig",
     "CoreStats",
@@ -33,5 +42,6 @@ __all__ = [
     "RepredictMode",
     "Segment",
     "SimulationHang",
+    "resolve_order_scheme",
     "simulate_core",
 ]

@@ -72,6 +72,8 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         tfr_collectors: tuple = (),
     ):
         self.program = program
+        self._code = program.instructions
+        self._code_len = len(program.instructions)
         self.config = config if config is not None else CoreConfig()
         cfg = self.config.validate()
         self.golden = golden if golden is not None else GoldenTrace(
@@ -85,7 +87,9 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         self.tfr_collectors = tfr_collectors
 
         self.frontend = FrontEnd(index_bits=cfg.predictor_index_bits)
-        self.rob = ReorderBuffer(cfg.window_size, cfg.segment_size)
+        self.rob = ReorderBuffer(
+            cfg.window_size, cfg.segment_size, order_scheme=cfg.order_scheme
+        )
         self.lsq = LoadStoreQueue()
         self.cache = (
             PerfectCache(latency=1)
@@ -135,6 +139,11 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
                 1 + (1 if cfg.perfect_cache else cfg.cache_miss_latency),
             )
         )
+        # Aliases for the execute path's inlined schedule (the wheel's
+        # horizon covers every latency above by construction).
+        self._wheel_mask = self._completing._mask
+        self._wheel_nodes = self._completing._nodes
+        self._wheel_tokens = self._completing._tokens
         self._gate_in_order = cfg.completion_model.branches_in_order
         self._gate_stores = cfg.completion_model.requires_resolved_stores
 

@@ -3,8 +3,32 @@
 The ROB is a doubly-linked list of dynamic instructions supporting
 insertion and removal at arbitrary points — the structure restart
 sequences need.  Logical order between any two entries is decided by
-spaced integer keys (renumbered when a gap is exhausted), which the
-load/store ordering logic and age-based scheduling rely on.
+integer keys, maintained under one of two schemes (``CoreConfig
+(order_scheme=...)`` / ``REPRO_ORDER``):
+
+* ``v1`` — the seed's midpoint discipline: every insert (including tail
+  appends) takes the midpoint of its neighbours' keys, and a full-window
+  renumber respaces everything when a gap is exhausted.  Because appends
+  halve the gap to the tail sentinel, a renumber fires every ~16
+  dispatches — per fetch cycle at the paper's width.
+* ``v2`` — renumber-free: tail appends (the hot path) take strictly
+  monotonic sequence numbers spaced ``_SPACING`` apart, so keys are
+  never rewritten and the order-index insert collapses to an append.
+  Mid-window restart inserts take a low-biased step into the local gap
+  (``lo + max(1, gap/256)``), leaving room for the right-chaining
+  dispatch order of a restart sequence; only a pathologically nested
+  restart chain can exhaust a gap, falling back to one full respace.
+
+Both schemes yield the same architectural results — keys order the same
+instructions the same way — but the ready heap captures key *values* at
+push time, and a v1 renumber can rewrite keys between push and pop, so
+same-cycle issue arbitration differs between schemes (v1 compares keys
+from mixed numbering epochs; v2 keys are stable).  On most cells the
+shift is confined to issue accounting; on recovery-heavy cells the
+reordered completion of same-cycle branches can reorder recoveries and
+cascade into timing statistics, while the retired stream stays pinned by
+cosimulation (see ``repro.core.stats``).  Each scheme is pinned by its
+own golden generation (``tests/goldens/``).
 
 Segmentation (Appendix A.4) is modeled for capacity: instructions are
 allocated into segments of ``segment_size`` entries; a partially used or
@@ -16,9 +40,16 @@ has retired or been squashed.
 from __future__ import annotations
 
 from ..isa import Instruction
+from .config import resolve_order_scheme
 from .soa import OrderIndex
 
 _SPACING = 1 << 16
+
+#: v2 tail-sentinel key: far above any reachable sequence number (a run
+#: would need ~2^46 dispatches to approach it), so the youngest real
+#: instruction always has a huge gap to the sentinel and appends never
+#: trigger gap maintenance.
+_V2_TAIL = 1 << 62
 
 
 class Segment:
@@ -137,25 +168,34 @@ class ReorderBuffer:
         window_size: int,
         segment_size: int = 1,
         soa_backend: str | None = None,
+        order_scheme: str | None = None,
     ):
         if window_size % segment_size:
             raise ValueError("window_size must be a multiple of segment_size")
         self.window_size = window_size
         self.segment_size = segment_size
+        self.order_scheme = resolve_order_scheme(order_scheme)
         self.head_sentinel = DynInstr(-1, -1, Instruction.__new__(Instruction))
         self.tail_sentinel = DynInstr(-2, -1, Instruction.__new__(Instruction))
         self.head_sentinel.next = self.tail_sentinel
         self.tail_sentinel.prev = self.head_sentinel
         self.head_sentinel.order = 0
-        self.tail_sentinel.order = 2 * _SPACING
+        self._v2 = self.order_scheme == "v2"
+        if self._v2:
+            self.tail_sentinel.order = _V2_TAIL
+            self._next_order = _SPACING  # next tail-append sequence number
+            self._place = self._place_v2
+        else:
+            self.tail_sentinel.order = 2 * _SPACING
+            self._place = self._place_v1
         self.count = 0  # live instructions
         self.segments_allocated = 0
         #: sorted order keys of every linked (alive) instruction — the
         #: incremental position index behind :meth:`index_of`, kept as a
         #: dense int64 column (:class:`repro.core.soa.OrderIndex`).
-        #: Orders are unique (``_place`` renumbers before a gap
-        #: collapses), so one bisect recovers a node's window position in
-        #: O(log n) instead of the O(window) head-to-node scan the
+        #: Orders are unique under both schemes (a gap is respaced before
+        #: it collapses), so one bisect recovers a node's window position
+        #: in O(log n) instead of the O(window) head-to-node scan the
         #: golden-trace matching paid per branch completion.
         self._alive_orders = OrderIndex(window_size, backend=soa_backend)
 
@@ -180,13 +220,6 @@ class ReorderBuffer:
             self.segments_allocated += 1
         return segment
 
-    def _release(self, node: DynInstr) -> None:
-        segment = node.segment
-        if segment is not None:
-            segment.live -= 1
-            if segment.live == 0:
-                self.segments_allocated -= 1
-
     # ------------------------------------------------------------------
     # list structure
 
@@ -201,18 +234,16 @@ class ReorderBuffer:
             linked += 1
         self._alive_orders.renumber(linked, _SPACING)
 
-    def _place(self, node: DynInstr, after: DynInstr) -> None:
+    def _place_v1(self, node: DynInstr, after: DynInstr) -> None:
         succ = after.next
         node.prev = after
         node.next = succ
         after.next = node
         succ.prev = node
-        # NOTE: appends could avoid the midpoint gap-halving (and hence
-        # nearly all renumbers) by extending the tail's key range, but
-        # the ready heap captures ``node.order`` in its sort keys at push
-        # time — renumber *timing* is observable through stale-key
-        # tie-breaks, and the golden equivalence gate pins it.  Keys and
-        # renumber points must stay exactly the seed's.
+        # NOTE: the ready heap captures ``node.order`` in its sort keys
+        # at push time — renumber *timing* is observable through
+        # stale-key tie-breaks, and the v1 golden gate pins it.  Keys and
+        # renumber points must stay exactly the seed's under this scheme.
         lo, hi = after.order, succ.order
         if hi - lo < 2:
             # Renumbering rebuilds the position index with ``node``
@@ -225,6 +256,50 @@ class ReorderBuffer:
         node.order = (lo + hi) // 2
         self._alive_orders.insert(node.order)
 
+    def _respace(self) -> None:
+        """v2 fallback: respace every key after a restart-chain gap
+        collapse (the caller's node is already linked, so it gets its
+        slot here and the index refill already covers it)."""
+        order = 0
+        node = self.head_sentinel
+        linked = -1  # exclude the head sentinel; the tail keeps _V2_TAIL
+        tail = self.tail_sentinel
+        while node is not tail:
+            node.order = order
+            order += _SPACING
+            node = node.next
+            linked += 1
+        self._next_order = order
+        self._alive_orders.renumber(linked, _SPACING)
+
+    def _place_v2(self, node: DynInstr, after: DynInstr) -> None:
+        succ = after.next
+        node.prev = after
+        node.next = succ
+        after.next = node
+        succ.prev = node
+        if succ is self.tail_sentinel:
+            # Hot path: frontier dispatch appends take the next sequence
+            # number — no gap math, no renumber, and the order index
+            # extends by one tail write.
+            node.order = order = self._next_order
+            self._next_order = order + _SPACING
+            self._alive_orders.append(order)
+            return
+        # Restart insert: step a small fraction into the gap so the
+        # right-chaining dispatch order of a restart sequence (each
+        # instruction inserted after the previous one) fits hundreds of
+        # entries before the gap thins.  Only deeply nested restart
+        # chains can exhaust one, and then a single respace restores
+        # full spacing everywhere.
+        lo, hi = after.order, succ.order
+        gap = hi - lo
+        if gap < 2:
+            self._respace()
+            return
+        node.order = lo + ((gap >> 8) or 1)
+        self._alive_orders.insert(node.order)
+
     def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment | None:
         """Link ``node`` after ``after``; returns the segment used."""
         self._place(node, after)
@@ -233,7 +308,7 @@ class ReorderBuffer:
             # One slot per instruction: capacity accounting is exactly
             # ``count``, so allocating a Segment per dispatch would be
             # pure bookkeeping overhead (node.segment stays None and
-            # ``_release`` skips it).
+            # ``remove`` skips it).
             return None
         segment = self.alloc_into(segment)
         node.segment = segment
@@ -241,19 +316,44 @@ class ReorderBuffer:
         return segment
 
     def append(self, node: DynInstr, segment: Segment | None) -> Segment | None:
-        return self.insert_after(self.tail_sentinel.prev, node, segment)
+        if not self._v2:
+            return self.insert_after(self.tail_sentinel.prev, node, segment)
+        # v2 frontier-dispatch fast path: a tail append is one link splice,
+        # one monotonic key and one index tail write, fused here to spare
+        # the insert_after/_place call frames on the hottest loop in the
+        # simulator (one call per fetched instruction).
+        tail = self.tail_sentinel
+        prev = tail.prev
+        node.prev = prev
+        node.next = tail
+        prev.next = node
+        tail.prev = node
+        node.order = order = self._next_order
+        self._next_order = order + _SPACING
+        self._alive_orders.append(order)
+        self.count += 1
+        if self.segment_size == 1:
+            return None
+        segment = self.alloc_into(segment)
+        node.segment = segment
+        segment.live += 1
+        return segment
 
     def remove(self, node: DynInstr) -> None:
         """Unlink a squashed instruction and release its window slot."""
         node.prev.next = node.next
         node.next.prev = node.prev
-        self._release(node)
+        segment = node.segment
+        if segment is not None:
+            segment.live -= 1
+            if segment.live == 0:
+                self.segments_allocated -= 1
         self.count -= 1
         self._alive_orders.remove(node.order)
 
-    def retire(self, node: DynInstr) -> None:
-        """Unlink a retired instruction (same slot accounting as remove)."""
-        self.remove(node)
+    #: Unlink a retired instruction — same slot accounting as ``remove``,
+    #: aliased rather than delegated (one call frame per retirement).
+    retire = remove
 
     # ------------------------------------------------------------------
     # traversal

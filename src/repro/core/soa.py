@@ -173,6 +173,20 @@ class OrderIndex:
             buf[i] = order
         self._n = n + 1
 
+    def append(self, order: int) -> None:
+        """Extend the column with a key larger than every current entry.
+
+        The v2 order scheme's dispatch path: tail appends carry strictly
+        monotonic keys, so the sorted invariant holds by construction and
+        neither the bisect nor the tail-comparison of :meth:`insert` is
+        needed.
+        """
+        n = self._n
+        if n == len(self._buf):
+            self._grow()
+        self._buf[n] = order
+        self._n = n + 1
+
     def remove(self, order: int) -> None:
         n = self._n
         i = self.position(order)
@@ -224,6 +238,15 @@ class _ArrayOrderIndex(OrderIndex):
     def position(self, order: int) -> int:
         """``bisect_left`` of ``order`` in the column."""
         return bisect_left(self._buf, order, 0, self._n)
+
+    def remove(self, order: int) -> None:
+        # Same as the base implementation with the position() frame
+        # inlined — removal runs once per retired or squashed instruction.
+        n = self._n
+        buf = self._buf
+        i = bisect_left(buf, order, 0, n)
+        buf[i : n - 1] = buf[i + 1 : n]
+        self._n = n - 1
 
     def _refill(self, count: int, spacing: int) -> None:
         self._buf[:count] = _refill_template(spacing, count)[:count]

@@ -103,9 +103,12 @@ class BackendStage:
         else:
             node.value = VALUE_KERNELS[opcode](instr, a, b)
             latency = self._lat[opcode]
-        self._completing.schedule(
-            self.cycle + latency, self.cycle, node, node.issue_count
-        )
+        # Inlined CompletionWheel.schedule: every latency comes from the
+        # table the wheel was sized over at construction, so the horizon
+        # guard cannot fire on this path.
+        slot = (self.cycle + latency) & self._wheel_mask
+        self._wheel_nodes[slot].append(node)
+        self._wheel_tokens[slot].append(node.issue_count)
 
     # ==================================================================
     # completion
@@ -113,11 +116,12 @@ class BackendStage:
     def _complete_phase(self) -> None:
         nodes, tokens = self._completing.take(self.cycle)
         if nodes:
-            for i, node in enumerate(nodes):
-                if node.retired or node.squashed or tokens[i] != node.issue_count:
+            complete = self._complete
+            for node, token in zip(nodes, tokens):
+                if node.retired or node.squashed or token != node.issue_count:
                     continue
                 node.inflight = False
-                self._complete(node)
+                complete(node)
             nodes.clear()
             tokens.clear()
         if self._pending_branches:
@@ -164,18 +168,49 @@ class BackendStage:
         if tag is None:
             return
         if tag.broadcast(node.value):
-            # _wake only pushes onto the ready heap — it never mutates the
-            # consumer list — so iterating the live list directly is safe
-            # (the old defensive copy allocated per broadcast).
-            wake = self._wake
+            # The wake-up below only pushes onto the ready heap — it never
+            # mutates the consumer list — so iterating the live list
+            # directly is safe (the old defensive copy allocated per
+            # broadcast).  The _wake body is inlined to spare one call and
+            # a duplicate liveness check per consumer on this hot loop —
+            # unless something patched _wake on the instance (the fault
+            # injectors arm that way), in which case every wakeup must
+            # route through the patched hook.
             cycle = self.cycle
+            wake = self.__dict__.get("_wake")
+            if wake is not None:
+                dead = 0
+                for consumer in tag.consumers:
+                    if not (consumer.retired or consumer.squashed):
+                        if consumer is not node:
+                            wake(consumer, cycle)
+                    else:
+                        dead += 1
+                if dead > 8 and dead * 2 > len(tag.consumers):
+                    tag.consumers = [c for c in tag.consumers if c.alive]
+                return
+            ready = self._ready
             dead = 0
             for consumer in tag.consumers:
-                if not (consumer.retired or consumer.squashed):
-                    if consumer is not node:
-                        wake(consumer, cycle)
-                else:
+                if consumer.retired or consumer.squashed:
                     dead += 1
+                    continue
+                if consumer is node or consumer.in_ready:
+                    continue
+                if consumer.issue_count == 0:
+                    t1 = consumer.src1_tag
+                    t2 = consumer.src2_tag
+                    if (t1 is not None and not t1.ready) or (
+                        t2 is not None and not t2.ready
+                    ):
+                        continue
+                eligible = consumer.dispatch_cycle + 2
+                if eligible < cycle:
+                    eligible = cycle
+                consumer.in_ready = True
+                heapq.heappush(
+                    ready, (eligible, consumer.order, consumer.uid, consumer)
+                )
             if dead > 8 and dead * 2 > len(tag.consumers):
                 tag.consumers = [c for c in tag.consumers if c.alive]
 
@@ -215,7 +250,9 @@ class BackendStage:
             if oldest is not None and oldest.order < node.order:
                 return False
         if self._gate_stores:
-            if self.lsq.unresolved_older_stores(node):
+            # Empty-subset guard: most cycles have no unresolved store in
+            # flight, so skip the scan call outright.
+            if self.lsq._unresolved_stores and self.lsq.unresolved_older_stores(node):
                 return False
         return True
 

@@ -261,17 +261,21 @@ class RecoveryStage:
         self._needs_remap = True  # captured maps may now reference the dead
         self._map_epoch += 1
         node.squashed = True
-        was_store = node.instr.f_store and node.completed
-        addr = node.addr
+        instr = node.instr
         self.rob.remove(node)
-        self.lsq.drop(node)
-        if self._incomplete_branches.pop(node.uid, None) is not None:
+        if instr.f_mem:
+            # Drop from the LSQ first so the squashed store itself is out
+            # of the scan when affected loads are collected.
+            self.lsq.drop(node)
+            if instr.f_store and node.completed:
+                for load in self.lsq.loads_affected_by(node, {node.addr}):
+                    self.stats.reissues_memory += 1
+                    self._wake(load, self.cycle + 1)
+        elif (instr.f_branch or instr.f_indirect) and (
+            self._incomplete_branches.pop(node.uid, None) is not None
+        ):
             if self._oldest_gate is node:
                 self._oldest_gate_valid = False
-        if was_store:
-            for load in self.lsq.loads_affected_by(node, {addr}):
-                self.stats.reissues_memory += 1
-                self._wake(load, self.cycle + 1)
 
     def _prune_contexts(self) -> None:
         """Drop contexts invalidated by a squash.

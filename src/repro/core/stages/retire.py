@@ -23,10 +23,14 @@ class RetireStage:
         retired_any = False
         golden = self.golden.entries
         n_golden = len(golden)
-        tail = self.rob.tail_sentinel
+        rob = self.rob
+        stats = self.stats
+        lsq = self.lsq
+        head_sentinel = rob.head_sentinel
+        tail = rob.tail_sentinel
         while budget > 0:
-            node = self.rob.head
-            if node is None:
+            node = head_sentinel.next
+            if node is tail:
                 break
             if not node.completed or node.in_ready or node.inflight or node.recovering:
                 break
@@ -50,20 +54,21 @@ class RetireStage:
             self._check_and_commit(node, entry)
             if node.dest_arch is not None:
                 self.retired_map[node.dest_arch] = node.dest_tag
-            self.stats.issues_of_retired += node.issue_count
+            stats.issues_of_retired += node.issue_count
             node.retired = True
             retired_any = True
             self._map_epoch += 1
-            self.lsq.drop(node)
-            self.rob.retire(node)
+            if node.instr.f_mem:
+                lsq.drop(node)
+            rob.retire(node)
             self.retired_count += 1
-            self.stats.retired += 1
+            stats.retired += 1
             budget -= 1
             if node.instr.op is Op.HALT:
                 self.halted = True
                 break
         if retired_any:
-            self.stats.stage_retire_cycles += 1
+            stats.stage_retire_cycles += 1
 
     def _check_and_commit(self, node: DynInstr, entry) -> None:
         instr = node.instr

@@ -10,6 +10,8 @@ context's map and inserts into the reorder buffer either at the tail
 
 from __future__ import annotations
 
+from heapq import heappush
+
 from ...isa import Op
 from ..regfile import PhysReg
 from ..rob import DynInstr, Segment
@@ -59,13 +61,18 @@ class SequencerStage:
     def _dispatch(self, ctx: _Context, pc: int) -> DynInstr | None:
         """Fetch + rename one instruction into ``ctx``; returns the node,
         or None when fetch must stall (HALT reached / out of range)."""
-        instr = self.program.fetch(pc)
-        if instr is None:
+        # Inlined Program.fetch: one bounds check + list index per
+        # dispatched instruction (wrong-path fetch off the end of the
+        # program is an implicit HALT).
+        if 0 <= pc < self._code_len:
+            instr = self._code[pc]
+        else:
             ctx.stalled = True
             return None
         node = DynInstr(self.uid_counter, pc, instr)
         self.uid_counter += 1
-        node.dispatch_cycle = self.cycle
+        cycle = self.cycle
+        node.dispatch_cycle = cycle
 
         if ctx.phase == "frontier":
             ctx.segment = self.rob.append(node, ctx.segment)
@@ -77,12 +84,13 @@ class SequencerStage:
         self._map_epoch += 1
 
         rmap = ctx.rmap
+        t1 = t2 = None
         if instr.reads_rs1:
-            node.src1_tag = rmap[instr.rs1]
-            node.src1_tag.consumers.append(node)
+            node.src1_tag = t1 = rmap[instr.rs1]
+            t1.consumers.append(node)
         if instr.reads_rs2:
-            node.src2_tag = rmap[instr.rs2]
-            node.src2_tag.consumers.append(node)
+            node.src2_tag = t2 = rmap[instr.rs2]
+            t2.consumers.append(node)
         dest = instr.dest_reg
         if dest is not None:
             node.dest_arch = dest
@@ -91,48 +99,66 @@ class SequencerStage:
             rmap[dest] = tag
             node.dest_tag = tag
 
-        self.lsq.add(node)
+        if instr.f_mem:
+            self.lsq.add(node)
 
         if instr.f_control:
             self._predict_control(ctx, node)
             ctx.fetch_pc = node.current_next_pc
+            if instr.f_branch or instr.f_indirect:
+                self._incomplete_branches[node.uid] = node
+                if self._oldest_gate_valid:
+                    oldest = self._oldest_gate
+                    if oldest is None or node.order < oldest.order:
+                        self._oldest_gate = node
         else:
             ctx.fetch_pc = pc + 1
             if instr.op is Op.HALT:
                 ctx.stalled = True
 
-        if instr.f_branch or instr.f_indirect:
-            self._incomplete_branches[node.uid] = node
-            if self._oldest_gate_valid:
-                oldest = self._oldest_gate
-                if oldest is None or node.order < oldest.order:
-                    self._oldest_gate = node
-
-        # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch stage).
-        if self._operands_ready(node):
-            self._push_ready(node, self.cycle + 2)
+        # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch
+        # stage); a fresh node is never already in the heap, so the
+        # _push_ready guard is inlined away.
+        if (t1 is None or t1.ready) and (t2 is None or t2.ready):
+            node.in_ready = True
+            heappush(self._ready, (cycle + 2, node.order, node.uid, node))
         return node
 
     def _predict_control(self, ctx: _Context, node: DynInstr) -> None:
         cfg = self.config
-        node.ras_snapshot = self.frontend.ras.snapshot()
+        frontend = self.frontend
+        node.ras_snapshot = frontend.ras.snapshot()
         history = ctx.ghr
-        if cfg.oracle_global_history and node.instr.f_branch:
-            entry_index = self._golden_index(node)
-            if 0 <= entry_index < len(self.golden.history_before):
-                history = self.golden.history_before[entry_index]
+        instr = node.instr
+        if instr.f_branch:
+            # Conditional-branch fast path: one gshare table read and an
+            # in-place history push — the FrontEnd.predict dispatch chain
+            # and its Prediction wrapper are pure overhead for the most
+            # common control instruction.
+            if cfg.oracle_global_history:
+                entry_index = self._golden_index(node)
+                if 0 <= entry_index < len(self.golden.history_before):
+                    history = self.golden.history_before[entry_index]
+            node.history_used = history
+            gshare = frontend.gshare
+            taken = gshare.table[(node.pc ^ history) & gshare._index_mask] >= 2
+            next_pc = instr.target if taken else node.pc + 1
+            node.predicted_taken = taken
+            node.predicted_next_pc = next_pc
+            node.current_taken = taken
+            node.current_next_pc = next_pc
+            ctx.ghr = ((ctx.ghr << 1) | (1 if taken else 0)) & gshare.history.mask
+            if instr.target <= node.pc:
+                # Backward branch: remember loop top / loop exit targets.
+                self._loop_targets.add(next_pc)
+            return
         node.history_used = history
-        prediction = self.frontend.predict(node.instr, node.pc, history)
+        prediction = frontend.predict(instr, node.pc, history)
         node.predicted_taken = prediction.taken
         node.predicted_next_pc = prediction.next_pc
         node.current_taken = prediction.taken
         node.current_next_pc = prediction.next_pc
-        if node.instr.f_branch:
-            ctx.ghr = self.frontend.push_history(ctx.ghr, prediction.taken)
-            if node.instr.target <= node.pc:
-                # Backward branch: remember loop top / loop exit targets.
-                self._loop_targets.add(prediction.next_pc)
-        elif node.instr.f_return:
+        if instr.f_return:
             self._return_targets.add(prediction.next_pc)
 
     # ==================================================================
@@ -182,10 +208,21 @@ class SequencerStage:
             return
         budget = self.config.width
         fetched_before = self.stats.fetched
-        while budget > 0 and not self.rob.full and not ctx.stalled:
-            if self._dispatch(ctx, ctx.fetch_pc) is None:
-                break
-            budget -= 1
+        rob = self.rob
+        window = rob.window_size
+        dispatch = self._dispatch
+        if rob.segment_size == 1:
+            # slots_used == count: test the counter directly instead of
+            # paying two property calls per fetched instruction.
+            while budget > 0 and rob.count < window and not ctx.stalled:
+                if dispatch(ctx, ctx.fetch_pc) is None:
+                    break
+                budget -= 1
+        else:
+            while budget > 0 and not rob.full and not ctx.stalled:
+                if dispatch(ctx, ctx.fetch_pc) is None:
+                    break
+                budget -= 1
         if self.stats.fetched != fetched_before:
             self.stats.stage_fetch_cycles += 1
 

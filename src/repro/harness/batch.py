@@ -72,4 +72,58 @@ def run_batch(processors):
     return [proc.finish() for proc in procs]
 
 
-__all__ = ["batch_enabled", "run_batch"]
+def run_batch_isolated(processors):
+    """Step independent processors round-robin with per-machine fault
+    isolation — the study-level batching driver.
+
+    Where :func:`run_batch` matches serial cell semantics (first failure
+    aborts the row), a *study*-wide batch interleaves cells of many
+    experiments, so one hung or crashing cell must not take down the
+    shard: a processor whose ``start``/``step``/``finish`` raises is
+    dropped from the rotation and its exception captured, while every
+    other machine runs to completion.  Each processor's own
+    ``watchdog_cycles``/``max_cycles`` guards bound a runaway cell
+    inside the fused loop.
+
+    Returns one ``("ok", stats)`` or ``("error", exception)`` outcome
+    per processor, in input order.  The collector is paused for the
+    whole shard and always restored.
+    """
+    procs = list(processors)
+    outcomes: list[tuple | None] = [None] * len(procs)
+    active = []
+    for i, proc in enumerate(procs):
+        try:
+            proc.start()
+        except Exception as exc:
+            outcomes[i] = ("error", exc)
+        else:
+            active.append((i, proc))
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while active:
+            still = []
+            for i, proc in active:
+                try:
+                    more = proc.step()
+                except Exception as exc:
+                    outcomes[i] = ("error", exc)
+                else:
+                    if more:
+                        still.append((i, proc))
+            active = still
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    for i, proc in enumerate(procs):
+        if outcomes[i] is None:
+            try:
+                outcomes[i] = ("ok", proc.finish())
+            except Exception as exc:
+                outcomes[i] = ("error", exc)
+    return outcomes
+
+
+__all__ = ["batch_enabled", "run_batch", "run_batch_isolated"]

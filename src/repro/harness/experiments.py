@@ -21,12 +21,14 @@ from ..errors import ConfigError
 from ..ideal.models import IdealModel
 from ..machines import HEURISTIC_POLICIES, detailed_machines
 from ..workloads import WORKLOAD_NAMES
+from .batch import batch_enabled
 from .spec import (
     CellRow,
     WorkloadBundle,
     derive,
     load_bundle,
     percent_improvement as _percent_improvement,  # noqa: F401  (legacy name)
+    prepare_study_batch,
     run_spec,
     run_spec_row,
     runnable_experiments,
@@ -39,6 +41,7 @@ __all__ = [
     "EXPERIMENTS",
     "HEURISTIC_POLICIES",
     "IDEAL_WINDOWS",
+    "NON_SEMANTIC_KNOBS",
     "WorkloadBundle",
     "assemble_study",
     "load_bundle",
@@ -262,17 +265,31 @@ def select_study_cells(cells, only):
     return selected
 
 
+#: experiment kwargs that choose an execution strategy without touching
+#: row content; excluded from the checkpoint config hash so toggling
+#: ``REPRO_BATCH``/``batch=`` or attaching a profile composes with
+#: checkpoint resume (and with ``REPRO_JOBS`` — the parallel path reuses
+#: the same enumeration) instead of silently re-running every cell
+NON_SEMANTIC_KNOBS = ("batch", "profile")
+
+
 def study_cells(chosen, names, scale: float, experiment_kwargs: dict):
     """Enumerate the study grid as Cells, in deterministic order.
 
     Serial and parallel execution share this enumeration, so a
-    checkpoint written by one is resumable by the other.
+    checkpoint written by one is resumable by the other; the config hash
+    covers only row-semantic knobs (see :data:`NON_SEMANTIC_KNOBS`), so
+    batched, profiled and scalar runs of the same study share one
+    checkpoint identity.
     """
     from .runner import Cell, config_hash
 
+    semantic = {
+        k: v for k, v in experiment_kwargs.items() if k not in NON_SEMANTIC_KNOBS
+    }
     cells = []
     for exp in chosen:
-        knob_hash = config_hash({"experiment": exp, **experiment_kwargs})
+        knob_hash = config_hash({"experiment": exp, **semantic})
         for name in names:
             cells.append(
                 Cell(experiment=exp, workload=name, config_hash=knob_hash, scale=scale)
@@ -332,6 +349,15 @@ def run_study(
     ``only`` restricts the grid to ``EXPERIMENT:WORKLOAD`` selectors
     (see :func:`select_study_cells`) for partial reruns.
 
+    ``batch=`` (or ``REPRO_BATCH``) composes with ``jobs``: batching is
+    applied *within* each worker's shard of the grid — serially that is
+    one fused :func:`~repro.harness.spec.prepare_study_batch` loop over
+    every pending detailed cell of the study; under the pool each worker
+    fuses its own shard.  Rows stay byte-identical; ``batch`` and
+    ``profile`` are excluded from the checkpoint identity
+    (:data:`NON_SEMANTIC_KNOBS`), so either toggle resumes the same
+    checkpoint.
+
     Returns ``{"results": {experiment: {workload: row-or-error}},
     "failures": [CellResult...], "resumed": int}``.
     """
@@ -364,12 +390,37 @@ def run_study(
     )
     if only is not None:
         chosen = [e for e in chosen if any(c.experiment == e for c in cells)]
+
+    # Study-level batching: pre-simulate every pending detailed cell of
+    # the whole study through one fused, fault-isolated driver loop
+    # (prepare_study_batch), then let each run_spec_row consume its
+    # prepared outcome.  Checkpointed cells never re-enter the batch.
+    # Note the per-cell ``timeout_seconds`` bounds only each cell's
+    # residual (non-batched) work — inside the fused loop a runaway cell
+    # is bounded by its own ``watchdog_cycles``/``max_cycles`` guards.
+    prepared = None
+    try:
+        study_batched = batch_enabled(experiment_kwargs.get("batch"))
+    except ValueError:
+        study_batched = False  # per-cell runs report the bad knob
+    if study_batched:
+        checkpoint = getattr(runner, "checkpoint", None)
+        pending_pairs = [
+            (cell.experiment, cell.workload)
+            for cell in cells
+            if checkpoint is None or not checkpoint.completed(cell.key)
+        ]
+        if pending_pairs:
+            prepared = prepare_study_batch(
+                pending_pairs, scale=scale, experiment_kwargs=experiment_kwargs
+            )
+
     outcomes = {}
     for cell in cells:
         result = runner.run_cell(
             cell,
             lambda exp=cell.experiment, name=cell.workload: run_spec_row(
-                exp, name, scale=scale, **experiment_kwargs
+                exp, name, scale=scale, prepared=prepared, **experiment_kwargs
             ).to_payload(),
         )
         outcomes[cell.key] = result

@@ -40,6 +40,7 @@ from typing import Any, Callable, Sequence
 
 from ..errors import ConfigError
 from ..workloads import WORKLOAD_NAMES
+from .batch import batch_enabled
 from .runner import Cell, CellResult, CellRunner, CheckpointStore, Deadline, RunnerConfig
 
 _log = logging.getLogger(__name__)
@@ -131,6 +132,60 @@ def _run_cell(
         "error_type": result.error_type,
         "attempts": result.attempts,
     }
+
+
+def _run_shard(
+    cell_specs: list,
+    scale: float,
+    experiment_kwargs: dict,
+    runner_knobs: dict,
+) -> list[dict]:
+    """Execute one study shard inside a worker process, batch-fused.
+
+    ``cell_specs`` is ``[(experiment, workload, knob_hash), ...]``.  The
+    shard's detailed cells are first pre-simulated through one fused,
+    fault-isolated driver loop (:func:`~repro.harness.spec
+    .prepare_study_batch` — one GC pause for the whole shard, workload
+    bundles derived once each); every cell then runs through the same
+    per-cell :class:`CellRunner` as :func:`_run_cell`, consuming its
+    prepared outcome.  The per-cell ``timeout_seconds`` therefore bounds
+    only each cell's residual work — inside the fused loop a runaway
+    cell is bounded by its own ``watchdog_cycles``/``max_cycles``
+    guards, and its failure degrades that cell alone.
+    """
+    from .spec import prepare_study_batch, run_spec_row
+
+    prepared = prepare_study_batch(
+        [(experiment, workload) for experiment, workload, _ in cell_specs],
+        scale=scale,
+        experiment_kwargs=experiment_kwargs,
+    )
+    runner = CellRunner(RunnerConfig(checkpoint_path=None, **runner_knobs))
+    results = []
+    for experiment, workload, knob_hash in cell_specs:
+        cell = Cell(
+            experiment=experiment,
+            workload=workload,
+            config_hash=knob_hash,
+            scale=scale,
+        )
+        result = runner.run_cell(
+            cell,
+            lambda exp=experiment, name=workload: run_spec_row(
+                exp, name, scale=scale, prepared=prepared, **experiment_kwargs
+            ).to_payload(),
+        )
+        results.append(
+            {
+                "key": result.key,
+                "status": result.status,
+                "value": result.value,
+                "error": result.error,
+                "error_type": result.error_type,
+                "attempts": result.attempts,
+            }
+        )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +402,17 @@ def run_study_parallel(
             "timeout_seconds": timeout_seconds,
             "max_attempts": max_attempts,
         }
+        # A SpecProfile cannot aggregate across process boundaries (each
+        # worker would record into its own pickled copy, silently thrown
+        # away on return), so it is stripped from worker dispatch: under
+        # the pool the parent's profile intentionally stays empty.
+        worker_kwargs = {
+            k: v for k, v in experiment_kwargs.items() if k != "profile"
+        }
+        try:
+            study_batched = batch_enabled(experiment_kwargs.get("batch"))
+        except ValueError:
+            study_batched = False  # per-cell runs report the bad knob
         tmpdir = None
         shared_dir = cache_dir
         if shared_dir is None:
@@ -355,25 +421,10 @@ def run_study_parallel(
         try:
             cache = ArtifactCache(disk_dir=shared_dir)
             _prewarm_cache(cache, dict.fromkeys(c.workload for c in pending), scale)
-            tasks = [
-                (
-                    cell.experiment,
-                    cell.workload,
-                    cell.config_hash,
-                    cell.scale,
-                    experiment_kwargs,
-                    runner_knobs,
-                )
-                for cell in pending
-            ]
 
-            def on_result(index: int, outcome: tuple) -> None:
-                cell = pending[index]
-                tag, payload = outcome
-                if tag == OUTCOME_OK:
-                    result = CellResult(**payload)
-                elif tag == OUTCOME_CRASHED:
-                    result = CellResult(
+            def degrade(cell: Cell, tag: str, payload) -> CellResult:
+                if tag == OUTCOME_CRASHED:
+                    return CellResult(
                         key=cell.key,
                         status="error",
                         value=None,
@@ -381,27 +432,87 @@ def run_study_parallel(
                         error_type="WorkerCrash",
                         attempts=1,
                     )
-                else:  # "error": the worker raised / result was unpicklable
-                    result = CellResult(
-                        key=cell.key,
-                        status="error",
-                        value=None,
-                        error=str(payload),
-                        error_type=type(payload).__name__,
-                        attempts=1,
-                    )
+                # "error": the worker raised / result was unpicklable
+                return CellResult(
+                    key=cell.key,
+                    status="error",
+                    value=None,
+                    error=str(payload),
+                    error_type=type(payload).__name__,
+                    attempts=1,
+                )
+
+            def settle(result: CellResult) -> None:
                 if result.ok and store is not None:
                     store.record(result.key, result.value)
                 outcomes[result.key] = result
 
-            map_resilient(
-                _run_cell,
-                tasks,
-                n_jobs,
-                initializer=_init_worker,
-                initargs=(str(shared_dir),),
-                on_result=on_result,
-            )
+            if study_batched:
+                # Study-level batching: one task per worker shard, each
+                # fusing all its detailed cells into a single driver
+                # loop (see _run_shard).  Round-robin sharding keeps
+                # per-shard load balanced across experiments.
+                shards = [
+                    shard
+                    for shard in (pending[i::n_jobs] for i in range(n_jobs))
+                    if shard
+                ]
+                tasks = [
+                    (
+                        [(c.experiment, c.workload, c.config_hash) for c in shard],
+                        scale,
+                        worker_kwargs,
+                        runner_knobs,
+                    )
+                    for shard in shards
+                ]
+
+                def on_result(index: int, outcome: tuple) -> None:
+                    tag, payload = outcome
+                    if tag == OUTCOME_OK:
+                        for item in payload:
+                            settle(CellResult(**item))
+                    else:
+                        # The whole shard shared the dead/broken worker.
+                        for cell in shards[index]:
+                            settle(degrade(cell, tag, payload))
+
+                map_resilient(
+                    _run_shard,
+                    tasks,
+                    n_jobs,
+                    initializer=_init_worker,
+                    initargs=(str(shared_dir),),
+                    on_result=on_result,
+                )
+            else:
+                tasks = [
+                    (
+                        cell.experiment,
+                        cell.workload,
+                        cell.config_hash,
+                        cell.scale,
+                        worker_kwargs,
+                        runner_knobs,
+                    )
+                    for cell in pending
+                ]
+
+                def on_result(index: int, outcome: tuple) -> None:
+                    tag, payload = outcome
+                    if tag == OUTCOME_OK:
+                        settle(CellResult(**payload))
+                    else:
+                        settle(degrade(pending[index], tag, payload))
+
+                map_resilient(
+                    _run_cell,
+                    tasks,
+                    n_jobs,
+                    initializer=_init_worker,
+                    initargs=(str(shared_dir),),
+                    on_result=on_result,
+                )
         finally:
             if tmpdir is not None:
                 tmpdir.cleanup()

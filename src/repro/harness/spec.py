@@ -55,7 +55,7 @@ from ..ideal.models import IdealModel
 from ..ideal.tracegen import AnnotatedTrace, annotate
 from ..machines import get_machine
 from ..workloads import WORKLOAD_NAMES, build_workload
-from .batch import batch_enabled, run_batch
+from .batch import batch_enabled, run_batch, run_batch_isolated
 
 #: row shapes an :class:`ExperimentSpec` may fold its cells into
 SHAPES = ("grid", "map", "rows")
@@ -560,6 +560,7 @@ def _simulate_cells(
     plan: list,
     batch: bool | None,
     profile: SpecProfile | None,
+    prepared: dict | None = None,
 ) -> list:
     """Produce each planned cell's stats, serially or array-batched.
 
@@ -571,14 +572,39 @@ def _simulate_cells(
     only wall clock changes — so profile entries for batched cells
     record the batch's amortized per-cell share (the interleaved loop
     has no meaningful per-cell split).
+
+    ``prepared`` maps ``(spec.name, workload, cell.label)`` to an
+    outcome pre-simulated by :func:`prepare_study_batch`'s study-wide
+    fused loop.  A prepared ``("ok", stats, share)`` entry is consumed
+    directly (recording the amortized share); a prepared error re-raises
+    the captured exception, so the cell degrades through the runner
+    exactly as a scalar failure would.  Cells absent from ``prepared``
+    (TFR cells, non-detailed families) fall through to the usual paths.
     """
     results: list = [None] * len(plan)
+    done: set[int] = set()
+    if prepared:
+        for i, (cell, machine, collectors) in enumerate(plan):
+            if collectors:
+                continue
+            entry = prepared.get((spec.name, workload, cell.label))
+            if entry is None:
+                continue
+            status, payload, share = entry
+            if status == "error":
+                raise payload
+            results[i] = payload
+            done.add(i)
+            if profile is not None:
+                profile.record(
+                    f"{spec.name}/{workload}/{cell.label}", share, payload
+                )
     batched: list[int] = []
     if batch_enabled(batch):
         batched = [
             i
             for i, (_, machine, _) in enumerate(plan)
-            if machine.family == "detailed"
+            if i not in done and machine.family == "detailed"
         ]
     if batched:
         procs = [
@@ -599,7 +625,7 @@ def _simulate_cells(
                     share,
                     results[i],
                 )
-    skip = set(batched)
+    skip = done | set(batched)
     for i, (cell, machine, collectors) in enumerate(plan):
         if i in skip:
             continue
@@ -619,6 +645,81 @@ def _simulate_cells(
     return results
 
 
+def prepare_study_batch(
+    pairs,
+    scale: float | None = None,
+    experiment_kwargs: dict | None = None,
+) -> dict:
+    """Pre-simulate every detailed cell of a study shard in one batch.
+
+    ``pairs`` is the shard's pending ``(experiment, workload)`` rows;
+    ``experiment_kwargs`` is exactly what the study threads into
+    :func:`run_spec_row` (``cells=``/builder params are honoured,
+    ``batch=``/``profile=`` are execution strategy and ignored here).
+    Spec resolution mirrors ``run_spec_row`` — derived views resolve to
+    their base spec with default knobs, so a study running e.g. both
+    figure5 and figure6 simulates the shared base cells *once* (the
+    prepared map deduplicates by ``(spec, workload, label)``).
+
+    All collected processors advance through one fused
+    :func:`~repro.harness.batch.run_batch_isolated` loop — the whole
+    shard shares a single GC pause and driver frame, and each workload
+    bundle is derived once per shard via the artifact cache.  Returns
+    ``{(spec_name, workload, label): (status, payload, share_seconds)}``
+    for :func:`run_spec_row`'s ``prepared=`` parameter, where ``share``
+    is the batch's amortized per-cell wall clock.  TFR cells are left
+    out (their collectors must be the ones the row's metric extractor
+    reads), as is any row whose planning fails — those cells simply run
+    scalar, degrading through the per-cell runner as before.
+    """
+    kwargs = dict(experiment_kwargs or {})
+    kwargs.pop("batch", None)
+    kwargs.pop("profile", None)
+    labels = kwargs.pop("cells", None)
+    prepared: dict = {}
+    procs: list = []
+    keys: list = []
+    claimed: set = set()
+    for experiment, workload in dict.fromkeys(pairs):
+        try:
+            spec = select_cells(resolve_spec(experiment, kwargs), labels)
+            while spec.derives is not None:
+                spec = resolve_spec(spec.derives)
+            if spec.needs != "bundle":
+                continue
+            plan = [
+                cell
+                for cell in spec.cells
+                if not cell.tfr
+                and cell.machine.resolve().family == "detailed"
+                and (spec.name, workload, cell.label) not in claimed
+            ]
+            if not plan:
+                continue
+            row_scale = spec.default_scale if scale is None else scale
+            bundle = _load_for(spec, workload, row_scale)
+            for cell in plan:
+                procs.append(
+                    cell.machine.resolve().processor(
+                        bundle, dict(cell.machine.overrides), ()
+                    )
+                )
+                keys.append((spec.name, workload, cell.label))
+                claimed.add(keys[-1])
+        except Exception:
+            # Planning failure (bogus workload, bad knobs...): leave the
+            # row to the scalar path, which degrades it per cell.
+            continue
+    if not procs:
+        return prepared
+    t0 = time.perf_counter()
+    outcomes = run_batch_isolated(procs)
+    share = (time.perf_counter() - t0) / len(procs)
+    for key, (status, payload) in zip(keys, outcomes):
+        prepared[key] = (status, payload, share)
+    return prepared
+
+
 def run_spec_row(
     name_or_spec,
     workload: str,
@@ -626,6 +727,7 @@ def run_spec_row(
     profile: SpecProfile | None = None,
     cells=None,
     batch: bool | None = None,
+    prepared: dict | None = None,
     **params,
 ) -> CellRow:
     """Execute every cell of one spec for one workload.
@@ -636,12 +738,20 @@ def run_spec_row(
     subset of the spec's cells by label (see :func:`select_cells`);
     ``batch`` routes the row's detailed-family cells through the
     array-batched driver (default: the ``REPRO_BATCH`` environment
-    variable), with byte-identical rows either way.
+    variable), with byte-identical rows either way.  ``prepared``
+    consumes study-level pre-simulated outcomes from
+    :func:`prepare_study_batch` (the study runners thread it; direct
+    callers normally leave it unset).
     """
     spec = select_cells(resolve_spec(name_or_spec, params), cells)
     if spec.derives is not None:
         base = run_spec_row(
-            spec.derives, workload, scale=scale, profile=profile, batch=batch
+            spec.derives,
+            workload,
+            scale=scale,
+            profile=profile,
+            batch=batch,
+            prepared=prepared,
         )
         data = TRANSFORMS[spec.transform](base.data)
         return CellRow(experiment=spec.name, workload=workload, data=data)
@@ -656,7 +766,9 @@ def run_spec_row(
         )
         for cell in spec.cells
     ]
-    results = _simulate_cells(spec, workload, bundle, plan, batch, profile)
+    results = _simulate_cells(
+        spec, workload, bundle, plan, batch, profile, prepared
+    )
     outcomes = []
     for (cell, machine, collectors), result in zip(plan, results):
         ctx = CellContext(
@@ -866,6 +978,7 @@ __all__ = [
     "load_program_bundle",
     "metric",
     "percent_improvement",
+    "prepare_study_batch",
     "register_spec",
     "resolve_spec",
     "run_spec",

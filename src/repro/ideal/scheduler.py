@@ -162,13 +162,20 @@ class IdealScheduler:
 
     def _complete_key(self, key: object, cycle: int) -> None:
         self.completed_at[key] = cycle
-        for waiter in self.waiters.pop(key, ()):  # wake dependents
+        waiting = self.waiters.pop(key, None)
+        if not waiting:
+            return
+        heap = self.ready_heap
+        for waiter in waiting:  # wake dependents (_make_ready inlined)
             if waiter.squashed:
                 continue
             if cycle > waiter.min_ready:
                 waiter.min_ready = cycle
-            waiter.pending -= 1
-            self._make_ready(waiter)
+            pending = waiter.pending - 1
+            waiter.pending = pending
+            if pending == 0 and not waiter.issued and not waiter.in_ready_heap:
+                waiter.in_ready_heap = True
+                heapq.heappush(heap, (waiter.min_ready, waiter.order, waiter))
 
     # ------------------------------------------------------------------
     # fetch
@@ -204,9 +211,23 @@ class IdealScheduler:
         self.active_correct[seq] = slot
         self.window_used += 1
 
+        # Inlined _add_dep: this loop runs per fetched instruction and
+        # the call frames dominated the fetch path's profile.
+        completed_at = self.completed_at
+        waiters = self.waiters
         for code in (trace.dep1[seq], trace.dep2[seq], trace.depm[seq]):
             if code != NO_PRODUCER:
-                self._add_dep(slot, code)
+                done = completed_at.get(code)
+                if done is not None:
+                    if done > slot.min_ready:
+                        slot.min_ready = done
+                else:
+                    w = waiters.get(code)
+                    if w is None:
+                        waiters[code] = [slot]
+                    else:
+                        w.append(slot)
+                    slot.pending += 1
 
         # False data dependences from outstanding mispredictions (FD models).
         if self._fd and self.outstanding:
@@ -216,7 +237,10 @@ class IdealScheduler:
                 if self._false_dep_hits(seq, mp):
                     self._add_dep(slot, ("fd", mp.seq))
 
-        self._make_ready(slot)
+        # _make_ready inlined: a fresh slot is never issued nor in the heap.
+        if slot.pending == 0:
+            slot.in_ready_heap = True
+            heapq.heappush(self.ready_heap, (slot.min_ready, slot.order, slot))
 
         if seq in trace.mispredictions:
             self._on_fetch_misprediction(trace.mispredictions[seq], source)

@@ -53,6 +53,9 @@ IDEAL_PREFIX = "ideal/"
 #: suffix under which the array-batched detailed variants are registered
 BATCH_SUFFIX = "@batch"
 
+#: suffix under which the legacy-order-scheme variants are registered
+ORDER_V1_SUFFIX = "@v1"
+
 
 @dataclass(frozen=True)
 class Machine:
@@ -236,6 +239,16 @@ def _batched(machine: Machine) -> Machine:
     )
 
 
+def _order_v1(machine: Machine) -> Machine:
+    return replace(
+        machine,
+        name=machine.name + ORDER_V1_SUFFIX,
+        description=machine.description
+        + " (legacy v1 midpoint/renumber order scheme)",
+        knobs=tuple(sorted((*machine.knobs, ("order_scheme", "v1")))),
+    )
+
+
 # Register the array-batched variants of the Figure 5 machines.  They
 # are first-class registry entries so the differential-fuzzing oracle
 # (which defaults to every machine) and the golden equivalence suite
@@ -248,6 +261,21 @@ del _name, _variant
 #: the array-batched twins of the Figure 5 machines
 BATCHED_MACHINE_NAMES = tuple(
     name + BATCH_SUFFIX for name in DETAILED_MACHINE_NAMES
+)
+
+# Register the legacy-order-scheme twins of the Figure 5 machines.
+# The default scheme is v2, so without these the every-machine fuzz
+# campaigns would stop differentially covering the v1 key discipline
+# the moment the default flipped; as registry entries they keep v1
+# oracle-checked against the functional reference on every campaign.
+for _name in DETAILED_MACHINE_NAMES:
+    _variant = _order_v1(MACHINES[_name])
+    MACHINES[_variant.name] = _variant
+del _name, _variant
+
+#: the legacy (v1) order-scheme twins of the Figure 5 machines
+ORDER_V1_MACHINE_NAMES = tuple(
+    name + ORDER_V1_SUFFIX for name in DETAILED_MACHINE_NAMES
 )
 
 
@@ -269,6 +297,11 @@ def ideal_machine(model: IdealModel) -> Machine:
 def batched_machine(name: str) -> Machine:
     """The array-batched twin of one detailed machine."""
     return get_machine(name + BATCH_SUFFIX)
+
+
+def order_v1_machine(name: str) -> Machine:
+    """The legacy-order-scheme twin of one detailed machine."""
+    return get_machine(name + ORDER_V1_SUFFIX)
 
 
 def heuristic_machine(policy: ReconvPolicy) -> Machine:
@@ -303,10 +336,13 @@ __all__ = [
     "HEURISTIC_POLICIES",
     "IDEAL_PREFIX",
     "MACHINES",
+    "ORDER_V1_MACHINE_NAMES",
+    "ORDER_V1_SUFFIX",
     "Machine",
     "batched_machine",
     "detailed_machines",
     "get_machine",
     "heuristic_machine",
     "ideal_machine",
+    "order_v1_machine",
 ]

@@ -1,5 +1,5 @@
 """Array-batched cycle driver: knob resolution, round-robin stepping,
-and byte-identical wiring through the spec engine."""
+byte-identical wiring through the spec engine, and study-level fusion."""
 
 import gc
 
@@ -7,9 +7,15 @@ import pytest
 
 from repro.core import CoreConfig, Processor, ReconvPolicy
 from repro.errors import SimulationHang
-from repro.harness import load_bundle
-from repro.harness.batch import batch_enabled, run_batch
-from repro.harness.spec import SpecProfile, run_spec, run_spec_row
+from repro.harness import load_bundle, run_study
+from repro.harness.batch import batch_enabled, run_batch, run_batch_isolated
+from repro.harness.experiments import study_cells
+from repro.harness.spec import (
+    SpecProfile,
+    prepare_study_batch,
+    run_spec,
+    run_spec_row,
+)
 
 SCALE = 0.02
 
@@ -98,6 +104,110 @@ class TestRunBatch:
         with pytest.raises(SimulationHang):
             run_batch([proc])
         assert gc.isenabled(), "collector must be re-enabled on failure"
+
+
+class TestRunBatchIsolated:
+    def test_matches_run_batch_on_clean_processors(self, bundle):
+        stats = run_batch(_processors(bundle, 2))
+        outcomes = run_batch_isolated(_processors(bundle, 2))
+        assert [tag for tag, _ in outcomes] == ["ok", "ok"]
+        assert [payload for _, payload in outcomes] == stats
+
+    def test_failure_isolated_to_its_slot(self, bundle):
+        good_serial = _processors(bundle, 1)[0].run()
+        (bad,) = _processors(bundle, 1, max_cycles=5)
+        (good,) = _processors(bundle, 1)
+        outcomes = run_batch_isolated([bad, good])
+        tag, exc = outcomes[0]
+        assert tag == "error" and isinstance(exc, SimulationHang)
+        assert outcomes[1] == ("ok", good_serial)
+        assert gc.isenabled()
+
+    def test_empty(self):
+        assert run_batch_isolated([]) == []
+
+
+class TestStudyBatchPrepare:
+    def test_prepared_rows_match_scalar(self):
+        prepared = prepare_study_batch([("figure5", "go")], scale=SCALE)
+        assert prepared  # every detailed figure5 cell pre-simulated
+        assert all(key[0] == "figure5" and key[1] == "go" for key in prepared)
+        row = run_spec_row("figure5", "go", scale=SCALE, prepared=prepared)
+        assert row == run_spec_row("figure5", "go", scale=SCALE)
+
+    def test_derived_spec_shares_base_cells(self):
+        # figure6 derives from figure5: preparing both plans the base
+        # cells once, and the one map serves both rows.
+        prepared = prepare_study_batch(
+            [("figure5", "go"), ("figure6", "go")], scale=SCALE
+        )
+        assert all(key[0] == "figure5" for key in prepared)
+        derived = run_spec_row("figure6", "go", scale=SCALE, prepared=prepared)
+        assert derived == run_spec_row("figure6", "go", scale=SCALE)
+
+    def test_program_only_specs_left_to_scalar_path(self):
+        assert prepare_study_batch([("table1", "go")], scale=SCALE) == {}
+
+    def test_bogus_workload_left_to_scalar_path(self):
+        assert (
+            prepare_study_batch([("figure5", "no-such-workload")], scale=SCALE)
+            == {}
+        )
+
+    def test_prepared_profile_records_every_cell(self):
+        prepared = prepare_study_batch([("figure5", "go")], scale=SCALE)
+        prepared_prof, scalar_prof = SpecProfile(), SpecProfile()
+        run_spec_row(
+            "figure5", "go", scale=SCALE, prepared=prepared, profile=prepared_prof
+        )
+        run_spec_row("figure5", "go", scale=SCALE, profile=scalar_prof)
+        assert set(prepared_prof.cells) == set(scalar_prof.cells)
+
+    def test_prepared_error_reraises_for_the_cell(self):
+        prepared = prepare_study_batch([("figure5", "go")], scale=SCALE)
+        key = next(iter(prepared))
+        prepared[key] = ("error", SimulationHang("injected"), 0.0)
+        with pytest.raises(SimulationHang, match="injected"):
+            run_spec_row("figure5", "go", scale=SCALE, prepared=prepared)
+
+
+class TestStudyLevelBatching:
+    def test_serial_study_batched_matches_scalar(self):
+        kwargs = dict(experiments=["figure5", "table2"], scale=SCALE, names=("go",))
+        scalar = run_study(**kwargs)
+        batched = run_study(batch=True, **kwargs)
+        assert scalar["failures"] == [] and batched["failures"] == []
+        assert batched["results"] == scalar["results"]
+
+    def test_checkpoint_identity_ignores_execution_knobs(self):
+        base = study_cells(["figure5"], ("go",), SCALE, {})
+        batched = study_cells(
+            ["figure5"],
+            ("go",),
+            SCALE,
+            {"batch": True, "profile": SpecProfile()},
+        )
+        semantic = study_cells(["figure5"], ("go",), SCALE, {"windows": (64,)})
+        assert [c.key for c in batched] == [c.key for c in base]
+        assert [c.key for c in semantic] != [c.key for c in base]
+
+    def test_scalar_checkpoint_resumes_batched(self, tmp_path):
+        kwargs = dict(
+            experiments=["figure5"],
+            scale=SCALE,
+            names=("go",),
+            checkpoint_path=str(tmp_path / "study.json"),
+        )
+        first = run_study(**kwargs)
+        assert first["resumed"] == 0 and first["failures"] == []
+        second = run_study(batch=True, **kwargs)
+        assert second["resumed"] == 1  # REPRO_BATCH toggles share identity
+        # checkpointed rows round-trip through JSON (int keys -> str)
+        import json
+
+        assert json.dumps(second["results"], sort_keys=True) == json.dumps(
+            json.loads(json.dumps(first["results"])), sort_keys=True
+        )
 
 
 class TestSpecWiring:

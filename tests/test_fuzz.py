@@ -285,6 +285,81 @@ class TestCorpusFormat:
         assert load_corpus(tmp_path / "nope") == []
 
 
+class TestOrderSchemeConfinement:
+    """The sanctioned v1->v2 semantic break, oracle-validated: under
+    either ROB order scheme every registry machine stays divergence-free
+    against the functional reference, and whatever shifts between the
+    schemes is confined to ready-heap tie-break-sensitive issue
+    accounting — architectural state, retired counts, cycles and the
+    stats invariants are identical."""
+
+    #: the only stats a scheme flip may move (canonical set in
+    #: repro.core.stats, also pinned by tests/test_equivalence.py)
+    from repro.core import TIEBREAK_SENSITIVE_FIELDS as TIEBREAK_SENSITIVE
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return generate_program(GenConfig(seed=7, size=60, branch_density=0.4,
+                                          loop_nesting=2, loop_trips=3,
+                                          aliasing=0.5, chain_depth=3))
+
+    def test_full_registry_clean_under_both_schemes(self, program):
+        reports = {}
+        for scheme in ("v1", "v2"):
+            report = run_oracle(
+                program,
+                overrides={"order_scheme": scheme,
+                           "watchdog_cycles": 20_000},
+            )
+            assert not report.divergences, (
+                f"scheme {scheme}: {report.describe()}"
+            )
+            reports[scheme] = report
+        # the oracle summaries carry ipc/retired/cycles/recoveries —
+        # none is tie-break-sensitive, so the schemes must agree exactly
+        assert reports["v1"].summaries == reports["v2"].summaries
+        assert reports["v1"].golden_length == reports["v2"].golden_length
+
+    def test_detailed_stats_shift_is_tiebreak_only(self, program):
+        import dataclasses
+
+        from repro.fuzz.oracle import program_bundle
+        from repro.machines import MACHINES
+
+        bundle = program_bundle(program)
+        for name in ("BASE", "CI", "CI-I"):
+            per_scheme = [
+                dataclasses.asdict(
+                    MACHINES[name].simulate(
+                        bundle, overrides={"order_scheme": scheme}
+                    )
+                )
+                for scheme in ("v1", "v2")
+            ]
+            moved = {
+                k for k in per_scheme[0] if per_scheme[0][k] != per_scheme[1][k]
+            }
+            assert moved <= self.TIEBREAK_SENSITIVE, (
+                f"{name}: non-tie-break stats moved across schemes: "
+                f"{sorted(moved - self.TIEBREAK_SENSITIVE)}"
+            )
+
+    @pytest.mark.parametrize("scheme", ("v1", "v2"))
+    def test_corpus_replays_clean_under_scheme(self, scheme):
+        for repro in load_corpus(CORPUS_DIR):
+            machines = ("BASE", "CI", "BASE@batch", "CI@batch", "functional")
+            report = run_oracle(
+                repro.program(),
+                machines=machines,
+                overrides={"order_scheme": scheme,
+                           "watchdog_cycles": 20_000},
+                max_steps=500_000,
+            )
+            assert not report.divergences, (
+                f"{repro.name} under {scheme}: {report.describe()}"
+            )
+
+
 class TestCommittedCorpusReplay:
     """The regression corpus in tests/corpus/: every committed
     reproducer must still (a) run clean on real machines and (b) make

@@ -63,6 +63,23 @@ class TestRegistryContents:
             assert batched.family == "detailed"
             assert batched.knobs == scalar.knobs  # same machine model
 
+    def test_order_v1_variants_registered(self):
+        from repro.machines import ORDER_V1_MACHINE_NAMES, ORDER_V1_SUFFIX
+        from repro.machines import order_v1_machine
+
+        assert ORDER_V1_MACHINE_NAMES == tuple(
+            name + ORDER_V1_SUFFIX for name in DETAILED_MACHINE_NAMES
+        )
+        for name in DETAILED_MACHINE_NAMES:
+            legacy = order_v1_machine(name)
+            assert legacy.family == "detailed"
+            assert legacy.core_config().order_scheme == "v1"
+            # same machine model, only the order scheme pinned
+            base_knobs = dict(MACHINES[name].knobs)
+            legacy_knobs = dict(legacy.knobs)
+            assert legacy_knobs.pop("order_scheme") == "v1"
+            assert legacy_knobs == base_knobs
+
     def test_functional_machine_registered(self):
         assert MACHINES["functional"].family == "functional"
 

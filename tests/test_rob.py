@@ -1,10 +1,13 @@
-"""Reorder buffer structure tests: linked list, order keys, segments."""
+"""Reorder buffer structure tests: linked list, order keys, order-scheme
+knob resolution, and segments."""
 
+import pytest
 from hypothesis import given, strategies as st
 
+from repro.core import ORDER_SCHEMES, CoreConfig, ReorderBuffer, resolve_order_scheme
+from repro.core.rob import _SPACING, _V2_TAIL, DynInstr
+from repro.errors import ConfigError
 from repro.isa import Instruction, Op
-from repro.core import ReorderBuffer
-from repro.core.rob import DynInstr
 
 
 def make_node(uid):
@@ -13,6 +16,118 @@ def make_node(uid):
 
 def window_uids(rob):
     return [n.uid for n in rob.iter_all()]
+
+
+def assert_orders_consistent(rob):
+    orders = [n.order for n in rob.iter_all()]
+    assert orders == sorted(orders)
+    assert len(set(orders)) == len(orders)
+    assert list(rob._alive_orders) == orders
+
+
+class TestOrderSchemeKnob:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "v1")
+        assert resolve_order_scheme("v2") == "v2"
+        monkeypatch.setenv("REPRO_ORDER", "v2")
+        assert resolve_order_scheme("v1") == "v1"
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "v1")
+        assert resolve_order_scheme() == "v1"
+        assert ReorderBuffer(16).order_scheme == "v1"
+
+    def test_unset_defaults_to_v2(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ORDER", raising=False)
+        assert resolve_order_scheme() == "v2"
+        assert ReorderBuffer(16).order_scheme == "v2"
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "sideways")
+        with pytest.raises(ConfigError, match="REPRO_ORDER"):
+            resolve_order_scheme()
+
+    def test_garbage_argument_rejected(self):
+        with pytest.raises(ConfigError, match="order_scheme"):
+            resolve_order_scheme("v3")
+
+    def test_core_config_carries_the_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "v2")
+        assert CoreConfig(order_scheme="v1").resolved_order_scheme() == "v1"
+        monkeypatch.delenv("REPRO_ORDER", raising=False)
+        assert CoreConfig().resolved_order_scheme() == "v2"
+
+    def test_core_config_validates_the_knob(self):
+        with pytest.raises(ConfigError, match="order_scheme"):
+            CoreConfig(order_scheme="v3").validate()
+
+
+class TestV2Scheme:
+    def test_appends_are_monotonic_and_never_rewritten(self, monkeypatch):
+        rob = ReorderBuffer(64, order_scheme="v2")
+        monkeypatch.setattr(
+            rob, "_respace",
+            lambda: pytest.fail("append path must never trigger a respace"),
+        )
+        seg = None
+        assigned = []
+        for uid in range(64):
+            node = make_node(uid)
+            seg = rob.append(node, seg)
+            assigned.append(node.order)
+        assert assigned == [(i + 1) * _SPACING for i in range(64)]
+        # keys were assigned once and never touched again
+        assert [n.order for n in rob.iter_all()] == assigned
+        assert rob.tail_sentinel.order == _V2_TAIL
+
+    def test_restart_chain_fits_one_gap(self, monkeypatch):
+        """A right-chained restart sequence (each instruction inserted
+        after the previous one, the sequencer's dispatch pattern) fits
+        hundreds of entries in one inter-key gap without a respace."""
+        rob = ReorderBuffer(4096, order_scheme="v2")
+        a, b = make_node(0), make_node(1)
+        rob.append(a, None)
+        rob.append(b, None)
+        monkeypatch.setattr(
+            rob, "_respace",
+            lambda: pytest.fail("right-chained inserts must not respace"),
+        )
+        anchor = a
+        for uid in range(2, 302):
+            node = make_node(uid)
+            rob.insert_after(anchor, node, None)
+            anchor = node
+        assert window_uids(rob) == [0, *range(2, 302), 1]
+        assert_orders_consistent(rob)
+
+    def test_respace_fallback_restores_spacing(self):
+        """Left-chained dense insertion (adversarial, not a dispatch
+        pattern) exhausts gaps; the respace fallback keeps the order
+        keys sorted, unique, and mirrored by the index."""
+        rob = ReorderBuffer(4096, order_scheme="v2")
+        first = make_node(0)
+        rob.append(first, None)
+        rob.append(make_node(1), None)
+        for uid in range(2, 202):
+            rob.insert_after(first, make_node(uid), None)
+        assert_orders_consistent(rob)
+        assert rob.tail_sentinel.order == _V2_TAIL
+        # the tail-append sequence resumes above every live key
+        node = make_node(999)
+        rob.append(node, None)
+        assert node.order > max(n.order for n in rob.iter_all() if n is not node)
+
+    def test_append_after_remove_stays_monotonic(self):
+        rob = ReorderBuffer(16, order_scheme="v2")
+        nodes = [make_node(u) for u in range(8)]
+        for node in nodes:
+            rob.append(node, None)
+        for node in nodes[4:]:
+            rob.remove(node)  # squash the youngest half
+        late = make_node(100)
+        rob.append(late, None)
+        assert late.order > nodes[3].order
+        assert_orders_consistent(rob)
 
 
 class TestLinkedList:
@@ -45,8 +160,9 @@ class TestLinkedList:
         assert window_uids(rob) == [0, 2]
         assert rob.count == 2
 
-    def test_order_keys_survive_dense_insertion(self):
-        rob = ReorderBuffer(4096)
+    @pytest.mark.parametrize("scheme", ORDER_SCHEMES)
+    def test_order_keys_survive_dense_insertion(self, scheme):
+        rob = ReorderBuffer(4096, order_scheme=scheme)
         first = make_node(0)
         rob.append(first, None)
         anchor = first
@@ -59,9 +175,10 @@ class TestLinkedList:
         assert orders == sorted(orders)
         assert len(set(orders)) == len(orders)
 
+    @pytest.mark.parametrize("scheme", ORDER_SCHEMES)
     @given(st.lists(st.integers(0, 3), min_size=1, max_size=120))
-    def test_random_ops_keep_order_consistent(self, ops):
-        rob = ReorderBuffer(4096)
+    def test_random_ops_keep_order_consistent(self, scheme, ops):
+        rob = ReorderBuffer(4096, order_scheme=scheme)
         nodes = []
         uid = 0
         for op in ops:
