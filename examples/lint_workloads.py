@@ -8,36 +8,51 @@ prints the heuristic-vs-exact reconvergence report: the static
 precision/recall ceiling of the Appendix A.5 hardware heuristics
 against exact post-dominator analysis.
 
-Usage:  python lint_workloads.py [scale] [--strict]
+Usage:  python lint_workloads.py [scale] [--strict] [--json]
 
-Exits non-zero when any workload carries unsuppressed error-severity
-diagnostics; ``--strict`` also fails on warnings.
+``--json`` emits one machine-readable document on stdout (the same
+report schema ``staticcheck.py --json`` uses, so CI artifacts from both
+linters diff uniformly).  Exits non-zero when any workload carries
+unsuppressed error-severity diagnostics; ``--strict`` also fails on
+warnings.
 """
 
+import json
 import sys
 
-from repro.analysis import lint_program, reconvergence_report_row
+from repro.analysis import lint_program, reconvergence_report_row, reports_to_dict
 from repro.harness import format_reconv_report
 from repro.workloads import WORKLOAD_NAMES, build_workload, lint_suppressions
 
 
 def main() -> int:
-    args = [a for a in sys.argv[1:] if a != "--strict"]
-    strict = "--strict" in sys.argv[1:]
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    strict = "--strict" in flags
+    as_json = "--json" in flags
     scale = float(args[0]) if args else 1.0
 
     failed = False
+    reports = []
     rows = []
     for name in WORKLOAD_NAMES:
         program = build_workload(name, scale).program
         report = lint_program(program, lint_suppressions(name))
-        print(report.format(show_suppressed=True))
-        print()
+        reports.append(report)
+        if not as_json:
+            print(report.format(show_suppressed=True))
+            print()
         if report.errors() or (strict and report.warnings()):
             failed = True
         rows.append(reconvergence_report_row(program))
 
-    print(format_reconv_report(rows))
+    if as_json:
+        print(json.dumps(
+            reports_to_dict(reports, tool="lint_workloads", scale=scale),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(format_reconv_report(rows))
     if failed:
         print("\nlint FAILED", file=sys.stderr)
         return 1

@@ -10,8 +10,12 @@ the runtime machine-invariant sanitizer.
   exact post-dominator table.
 * :class:`MachineSanitizer` — cross-checks the detailed core's
   redundant state views every N cycles (``REPRO_SANITIZE=1``).
+* :mod:`.staticcheck` — AST analysis over the simulator's own source:
+  the field-access atlas, hazard/determinism lint, and the checks of
+  the declarative arbitration contract (:data:`CONTRACT`).
 """
 
+from .arbitration import CONTRACT
 from .dataflow import (
     EXTERNAL,
     UNINIT,
@@ -36,11 +40,21 @@ from .reconv_check import (
     reconvergence_report_row,
     score_heuristic,
 )
+from .report import (
+    REPORT_SCHEMA_VERSION,
+    SourceDiagnostic,
+    SourceSuppression,
+    report_to_dict,
+    reports_to_dict,
+    stale_suppressions,
+)
 from .sanitizer import STRUCTURES, MachineSanitizer
 
 __all__ = [
+    "CONTRACT",
     "EXTERNAL",
     "HEURISTICS",
+    "REPORT_SCHEMA_VERSION",
     "STRUCTURES",
     "UNINIT",
     "Diagnostic",
@@ -48,6 +62,8 @@ __all__ = [
     "LintReport",
     "MachineSanitizer",
     "Severity",
+    "SourceDiagnostic",
+    "SourceSuppression",
     "Suppression",
     "apply_suppressions",
     "check_core_stats",
@@ -61,5 +77,8 @@ __all__ = [
     "liveness",
     "reaching_definitions",
     "reconvergence_report_row",
+    "report_to_dict",
+    "reports_to_dict",
     "score_heuristic",
+    "stale_suppressions",
 ]

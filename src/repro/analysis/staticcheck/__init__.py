@@ -1,0 +1,46 @@
+"""Static analysis over the simulator's own source.
+
+Three analyzers share one module-walker core (:mod:`.walker`):
+
+* :mod:`.atlas` — the field-access atlas: every attribute read/write on
+  the tracked model classes, attributed to stage mixin and pipeline
+  phase; committed as ``analysis/atlas.json`` and cross-checked
+  dynamically by :mod:`.trace`.
+* :mod:`.hazards` — undeclared-attribute, cross-stage same-cycle
+  write-after-read, and nondeterminism-source lint rules.
+* :mod:`.contract` — checks the ready-heap push/pop sites against the
+  declarative same-cycle arbitration contract
+  (:mod:`repro.analysis.arbitration`).
+
+``examples/staticcheck.py`` is the CLI over all three.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def source_root() -> Path:
+    """The ``src/repro`` package root this analysis runs over."""
+    return Path(__file__).resolve().parents[2]
+
+
+from .atlas import build_atlas, format_atlas  # noqa: E402
+from .contract import check_contract  # noqa: E402
+from .hazards import SOURCE_SUPPRESSIONS, lint_source  # noqa: E402
+from .trace import diff_against_atlas, trace_golden_cell  # noqa: E402
+from .walker import RepoIndex, TRACKED_CLASSES, collect_accesses  # noqa: E402
+
+__all__ = [
+    "RepoIndex",
+    "SOURCE_SUPPRESSIONS",
+    "TRACKED_CLASSES",
+    "build_atlas",
+    "check_contract",
+    "collect_accesses",
+    "diff_against_atlas",
+    "format_atlas",
+    "lint_source",
+    "source_root",
+    "trace_golden_cell",
+]

@@ -168,6 +168,14 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         self._any_completed = False
         self._any_recovered = False
 
+        # Resumable-loop state latched by start(); declared here so the
+        # facade's attribute surface is complete after construction (the
+        # staticcheck undeclared-attribute rule audits exactly this).
+        self._max_cycles = self.config.max_cycles
+        self._watchdog = self.config.watchdog_cycles
+        self._last_retired = 0
+        self._last_progress_cycle = 0
+
         # Hardware reconvergence heuristics (Appendix A.5).
         self._return_targets: set[int] = set()
         self._loop_targets: set[int] = set()

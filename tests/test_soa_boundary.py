@@ -1,0 +1,163 @@
+"""OrderIndex backend parity at the capacity-aware selection boundary.
+
+``resolve_backend`` auto-picks numpy only at or above
+``NUMPY_MIN_CAPACITY`` (~4k), where its block moves amortize; below,
+the stdlib ``array`` column wins.  The two backends must be bit-for-bit
+interchangeable *especially* around that switch point — a capacity-
+dependent behavioral difference would make window size silently change
+simulation results.  These tests drive identical insert / append /
+remove / renumber / rebuild sequences through both backends at
+capacities straddling the boundary (crossing the internal ``_grow``
+doubling as they go) and require identical state at every step, plus
+the selection rules themselves under both ``REPRO_SOA`` overrides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soa import (
+    BACKENDS,
+    NUMPY_MIN_CAPACITY,
+    OrderIndex,
+    resolve_backend,
+)
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not importable")
+
+
+@pytest.fixture(autouse=True)
+def clear_soa_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SOA", raising=False)
+
+
+# ----------------------------------------------------------------------
+# selection rules
+
+
+def test_auto_selection_boundary():
+    for capacity in (1, 256, NUMPY_MIN_CAPACITY - 1):
+        assert resolve_backend(None, capacity) == "fallback", capacity
+    expected = "numpy" if HAVE_NUMPY else "fallback"
+    for capacity in (NUMPY_MIN_CAPACITY, NUMPY_MIN_CAPACITY + 1, 1 << 20):
+        assert resolve_backend(None, capacity) == expected, capacity
+    # no capacity hint: prefer numpy when importable
+    assert resolve_backend(None, None) == expected
+
+
+@needs_numpy
+def test_constructor_dispatches_on_capacity():
+    assert OrderIndex(NUMPY_MIN_CAPACITY - 1).backend == "fallback"
+    assert OrderIndex(NUMPY_MIN_CAPACITY).backend == "numpy"
+
+
+def test_env_override_beats_capacity(monkeypatch):
+    monkeypatch.setenv("REPRO_SOA", "fallback")
+    assert OrderIndex(1 << 15).backend == "fallback"
+    monkeypatch.setenv("REPRO_SOA", "array")  # documented alias
+    assert OrderIndex(1 << 15).backend == "fallback"
+    if HAVE_NUMPY:
+        monkeypatch.setenv("REPRO_SOA", "numpy")
+        assert OrderIndex(8).backend == "numpy"
+
+
+def test_unknown_backend_rejected(monkeypatch):
+    with pytest.raises(ValueError, match="unknown SoA backend"):
+        resolve_backend("valarray")
+    monkeypatch.setenv("REPRO_SOA", "valarray")
+    with pytest.raises(ValueError, match="unknown SoA backend"):
+        OrderIndex(16)
+
+
+def test_backends_registry_is_exactly_the_two_columns():
+    assert BACKENDS == ("numpy", "fallback")
+
+
+# ----------------------------------------------------------------------
+# operational parity across the boundary
+
+
+def _drive(index: OrderIndex, size: int) -> list[list[int]]:
+    """One deterministic op sequence; returns state snapshots per phase.
+
+    ``size`` is chosen to cross the initial capacity (and one ``_grow``
+    doubling) for every capacity under test.
+    """
+    snapshots = []
+    # tail appends with monotonic keys (v2 dispatch path), crossing _grow
+    for i in range(size):
+        index.append(16 * (i + 1))
+    snapshots.append(index.tolist())
+    # midpoint inserts between existing keys (v1 placement path)
+    for i in range(0, size, 7):
+        index.insert(16 * (i + 1) - 8)
+    snapshots.append(index.tolist())
+    # removes by value, every 5th surviving entry (retire/squash path)
+    for value in index.tolist()[::5]:
+        index.remove(value)
+    snapshots.append(index.tolist())
+    # position probes on hits and misses
+    probes = [index.position(v) for v in (8, 16, 24, 16 * size // 2, 16 * size + 1)]
+    snapshots.append(probes)
+    # bulk renumber to the canonical spacing*(1..n) layout
+    index.renumber(len(index), 64)
+    snapshots.append(index.tolist())
+    # rebuild from an explicit sorted list
+    index.rebuild(range(3, 3 * (size // 2), 3))
+    snapshots.append(index.tolist())
+    return snapshots
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "capacity",
+    [NUMPY_MIN_CAPACITY - 1, NUMPY_MIN_CAPACITY, NUMPY_MIN_CAPACITY + 1],
+)
+def test_backend_parity_at_boundary(capacity):
+    size = NUMPY_MIN_CAPACITY + 128  # crosses every tested capacity
+    a = OrderIndex(capacity, backend="fallback")
+    b = OrderIndex(capacity, backend="numpy")
+    assert a.backend == "fallback" and b.backend == "numpy"
+    for phase, (got_a, got_b) in enumerate(zip(_drive(a, size), _drive(b, size))):
+        assert list(got_a) == list(got_b), f"phase {phase} diverged at capacity {capacity}"
+    assert len(a) == len(b)
+    assert a.tolist() == b.tolist()
+
+
+@needs_numpy
+def test_parity_under_env_overrides(monkeypatch):
+    """The same sequence through env-dispatched columns, both overrides."""
+    results = {}
+    for name in ("fallback", "numpy"):
+        monkeypatch.setenv("REPRO_SOA", name)
+        index = OrderIndex(NUMPY_MIN_CAPACITY)
+        assert index.backend == name
+        results[name] = _drive(index, 600)
+    for phase, (got_a, got_b) in enumerate(
+        zip(results["fallback"], results["numpy"])
+    ):
+        assert list(got_a) == list(got_b), f"phase {phase} diverged"
+
+
+def test_sequence_surface_parity_small():
+    """len/getitem/iter/slice surface on the stdlib column (always
+    available), pinned so both backends share one expected answer."""
+    index = OrderIndex(8, backend="fallback")
+    for value in (10, 30, 20, 40):
+        index.insert(value)
+    assert len(index) == 4
+    assert index.tolist() == [10, 20, 30, 40]
+    assert list(index) == [10, 20, 30, 40]
+    assert index[0] == 10 and index[-1] == 40
+    assert index[1:3] == [20, 30]
+    with pytest.raises(IndexError):
+        index[4]
+    index[1] = 21
+    assert index.tolist() == [10, 21, 30, 40]
