@@ -33,8 +33,11 @@ standard way to strip scheduler noise from a deterministic workload.
 Statistics come from the first repeat (they are identical every time).
 
 Writes ``BENCH_core.json`` with per-cell wall clock under each driver
-and scheme, totals, and the speedups versus the recorded seed
-implementation and the pre-SoA matrix baseline.
+and scheme, totals, the speedups versus the recorded seed
+implementation and the pre-SoA matrix baseline, and a memory sample:
+one representative core cell re-run under ``tracemalloc`` (outside the
+timed repeats — tracing slows the interpreter) recording the peak traced
+heap plus the columnar pool's slot-allocation counters.
 
 Usage:
     python examples/core_bench.py [--quick] [--profile] [--out PATH]
@@ -63,6 +66,7 @@ import json
 import pickle
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -313,6 +317,43 @@ def diff_schemes(stats_by_scheme: dict) -> tuple[list[str], dict]:
     return failures, cascades
 
 
+def measure_memory(bundles: dict, scheme: str) -> dict:
+    """Peak traced heap + pool allocation counters on one core cell.
+
+    Runs the first workload's CI machine (dispatch + recovery +
+    selective squash: the widest allocation footprint) once under
+    ``tracemalloc``.  Separate from the timed repeats on purpose —
+    tracing slows the interpreter several-fold, so this run is never
+    part of any wall-clock number.  The columnar pool preallocates its
+    window up front, so ``pool_allocated_total`` counts slot *recycles*
+    (handle claims), not heap allocations; ``peak_bytes`` is the heap
+    high-water mark including workload state.
+    """
+    name = next(iter(bundles))
+    bundle = bundles[name]
+    bundle.annotated()  # warm the workload memo outside the measurement
+    processor = get_machine("CI").processor(
+        bundle, {"window_size": WINDOW, "order_scheme": scheme}
+    )
+    tracemalloc.start()
+    baseline_bytes, _ = tracemalloc.get_traced_memory()
+    stats = processor.run()
+    current_bytes, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    pool = processor.pool
+    return {
+        "cell": f"core/{name}/CI",
+        "peak_bytes": peak_bytes,
+        "baseline_bytes": baseline_bytes,
+        "current_bytes": current_bytes,
+        "pool_capacity": pool.capacity,
+        "pool_allocated_total": pool.allocated_total,
+        "pool_live_at_halt": pool.live,
+        "retired": stats.retired,
+        "allocs_per_retired": round(pool.allocated_total / max(stats.retired, 1), 3),
+    }
+
+
 def check_against_baseline(report: dict, baseline_path: Path) -> None:
     """Print the absolute-wall-clock comparison; informational only."""
     try:
@@ -406,6 +447,9 @@ def main(argv=None) -> int:
     )
     mismatches += ideal_bad
     total = time.perf_counter() - t0
+    # memory sample last: tracemalloc slows the interpreter, so it must
+    # never overlap the timed matrices above
+    memory_sample = measure_memory(bundles, primary_scheme)
 
     if mismatches:
         print("EQUIVALENCE FAILURE: statistics diverged from the goldens")
@@ -479,7 +523,7 @@ def main(argv=None) -> int:
     matrix_seconds = round(core_seconds[primary] + ideal_seconds, 3)
 
     report = {
-        "schema": 3,
+        "schema": 4,
         "quick": args.quick,
         "scale": SCALE,
         "window": WINDOW,
@@ -523,6 +567,9 @@ def main(argv=None) -> int:
         #: stayed within the cascade bounds (empty unless --order both)
         "scheme_cascade_cells": scheme_cascades,
         "stage_cycles_sample": stage_sample,
+        #: untimed tracemalloc run of one representative core cell plus
+        #: the columnar pool's slot-recycle counters
+        "memory": memory_sample,
     }
     args.out.write_text(json.dumps(report, indent=1) + "\n")
     mode = "quick" if args.quick else "full"
@@ -551,6 +598,13 @@ def main(argv=None) -> int:
         for key, value in stage_sample.items():
             if key != "cell":
                 print(f"  {key:<10} {value}")
+    print(
+        f"memory sample ({memory_sample['cell']}, untimed): "
+        f"peak {memory_sample['peak_bytes'] / 1e6:.2f} MB, "
+        f"pool {memory_sample['pool_capacity']} slots / "
+        f"{memory_sample['pool_allocated_total']} claims "
+        f"({memory_sample['allocs_per_retired']:.3f} per retired instr)"
+    )
 
     if args.profile:
         machines = core_machines(primary_scheme)

@@ -27,14 +27,20 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class HeapKeySpec:
-    """Composition of a ready-heap entry tuple."""
+    """Composition of a ready-heap entry tuple.
+
+    Entries are pure int tuples: the payload is a pool *handle* into the
+    columnar :class:`repro.core.soa.InstrPool`, and the captured
+    components are reads of the pool's ``order``/``uid`` columns at push
+    time.  The captured ``uid`` doubles as the pop-side validity check —
+    a recycled slot's live ``uid`` no longer matches the entry's."""
 
     #: entry component names, in tuple order
     fields: tuple[str, ...]
-    #: components captured from the node *at push time* — these can go
-    #: stale if the node's attribute is rewritten while the entry waits
+    #: components captured from the pool columns *at push time* — these
+    #: can go stale if the column cell is rewritten while the entry waits
     captured_at_push: tuple[str, ...]
-    #: the component carrying the node object itself
+    #: the component carrying the pool handle
     payload: str
 
 
@@ -92,8 +98,8 @@ class ArbitrationContract:
             f"Ready heap: `Processor.{self.heap_attr}`, entries "
             f"`({', '.join(self.key.fields)})`.",
             f"Captured at push: {', '.join(self.key.captured_at_push)} "
-            f"(stale once the node's live value moves); payload: "
-            f"`{self.key.payload}`.",
+            f"(pool-column reads; stale once the cell's live value "
+            f"moves); payload: `{self.key.payload}`.",
             "",
             "Push sites: "
             + ", ".join(f"`{s.module}.{s.function}`" for s in self.push_sites)
@@ -129,9 +135,9 @@ class ArbitrationContract:
 CONTRACT = ArbitrationContract(
     heap_attr="_ready",
     key=HeapKeySpec(
-        fields=("eligible", "order", "uid", "node"),
+        fields=("eligible", "order", "uid", "handle"),
         captured_at_push=("order", "uid"),
-        payload="node",
+        payload="handle",
     ),
     push_sites=(
         HeapSiteSpec("core.stages.sequencer", "_dispatch", "push"),

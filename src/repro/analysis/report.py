@@ -30,7 +30,7 @@ from .diagnostics import LintReport, Severity, Suppression
 class SourceDiagnostic:
     """One finding over the simulator's own source.
 
-    ``symbol`` is the dotted name the finding is about (``DynInstr.order``,
+    ``symbol`` is the dotted name the finding is about (``InstrPool.order``,
     ``backend._broadcast``) and is what suppressions match on; ``file``
     and ``line`` locate it for the human reading the report.
     """

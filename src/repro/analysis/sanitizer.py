@@ -13,18 +13,20 @@ at (close to) the moment of corruption.
 
 Checked invariants, by ``SanitizerError.structure``:
 
-* ``rob-links`` — the linked list walks head→tail consistently
-  (``prev``/``next`` agree), every linked node is alive, orders strictly
-  increase, and the walk length matches ``rob.count``.
+* ``rob-links`` — the linked window walks head→tail consistently
+  (``prev``/``next`` columns agree), every linked slot is alive in the
+  pool's state column, orders strictly increase, and the walk length
+  matches ``rob.count``.
 * ``order-index`` — ``rob._alive_orders`` is exactly the sorted orders
-  of the linked nodes (the O(log n) position index the golden-trace
+  of the linked slots (the O(log n) position index the golden-trace
   matching depends on).
 * ``rename-map`` — with no recovery contexts active, the frontier map
   must equal the commit-side map overlaid with the window's destination
   tags, register by register.
-* ``broadcast-network`` — every alive node's destination tag is owned
-  by that node (``tag.producer is node``) and no two alive nodes share
-  a tag: a violated single-writer rule silently crosses dependences.
+* ``broadcast-network`` — every alive slot's destination tag is owned
+  by that slot (``tag.producer`` equals the slot's packed pool ref) and
+  no two alive slots share a tag: a violated single-writer rule
+  silently crosses dependences.
 * ``commit-order`` — retirement only moves forward: ``retired_count``
   never decreases, never exceeds the golden trace, and agrees with the
   retirement statistics.
@@ -42,6 +44,7 @@ of cycle N and are caught by the check at the end of cycle N+1 (with
 
 from __future__ import annotations
 
+from ..core.soa import HEAD, TAIL, ST_DEAD, ST_RETIRED
 from ..errors import SanitizerError
 
 #: structures checked, in check order (stable for tests/docs)
@@ -98,50 +101,59 @@ class MachineSanitizer:
 
     def _check_rob_links(self, proc) -> list:
         rob = proc.rob
+        pool = proc.pool
+        prev_col = pool.prev
+        next_col = pool.next
+        order_col = pool.order
+        state = pool.state
         linked: list = []
-        node = rob.head_sentinel.next
-        prev = rob.head_sentinel
-        limit = rob.count + 2  # a cycle in the list must not hang us
-        while node is not rob.tail_sentinel:
+        node = next_col[HEAD]
+        prev = HEAD
+        limit = rob.count + 2  # a cycle in the links must not hang us
+        while node != TAIL:
             if len(linked) >= limit:
                 self._fail(
                     proc, "rob-links",
-                    f"linked list walk exceeds count={rob.count}: "
+                    f"linked window walk exceeds count={rob.count}: "
                     "cycle or stale link in the window",
                 )
-            if node.prev is not prev:
+            if prev_col[node] != prev:
                 self._fail(
                     proc, "rob-links",
-                    f"node {node!r}.prev does not point at its predecessor",
+                    f"slot {pool.describe(node)}.prev does not point at "
+                    "its predecessor",
                 )
-            if not node.alive:
-                state = "retired" if node.retired else "squashed"
+            if state[node] & ST_DEAD:
+                dead = "retired" if state[node] & ST_RETIRED else "squashed"
                 self._fail(
                     proc, "rob-links",
-                    f"{state} node {node!r} is still linked in the window",
+                    f"{dead} slot {pool.describe(node)} is still linked "
+                    "in the window",
                 )
-            if node.order <= prev.order:
+            if order_col[node] <= order_col[prev]:
                 self._fail(
                     proc, "rob-links",
-                    f"order keys not strictly increasing at {node!r}: "
-                    f"{prev.order} -> {node.order}",
+                    f"order keys not strictly increasing at "
+                    f"{pool.describe(node)}: "
+                    f"{order_col[prev]} -> {order_col[node]}",
                 )
             linked.append(node)
             prev = node
-            node = node.next
-        if node.prev is not prev:
+            node = next_col[node]
+        if prev_col[TAIL] != prev:
             self._fail(
-                proc, "rob-links", "tail sentinel's prev does not close the list"
+                proc, "rob-links", "tail boundary's prev does not close the window"
             )
         if len(linked) != rob.count:
             self._fail(
                 proc, "rob-links",
-                f"linked list holds {len(linked)} nodes but count={rob.count}",
+                f"linked window holds {len(linked)} slots but count={rob.count}",
             )
         return linked
 
     def _check_order_index(self, proc, linked: list) -> None:
-        expected = [n.order for n in linked]
+        order_col = proc.pool.order
+        expected = [order_col[h] for h in linked]
         actual = proc.rob._alive_orders
         if list(actual) != expected:
             self._fail(
@@ -158,10 +170,13 @@ class MachineSanitizer:
     def _check_rename_map(self, proc, linked: list) -> None:
         if proc.contexts:
             return  # recovery in flight: the frontier map is transient
+        pool = proc.pool
+        dest_arch = pool.dest_arch
+        dest_tag = pool.dest_tag
         overlay = list(proc.retired_map)
-        for node in linked:
-            if node.dest_arch is not None:
-                overlay[node.dest_arch] = node.dest_tag
+        for h in linked:
+            if dest_arch[h] is not None:
+                overlay[dest_arch[h]] = dest_tag[h]
         frontier = proc.frontier.rmap
         for arch, expected in enumerate(overlay):
             if frontier[arch] is not expected:
@@ -173,24 +188,28 @@ class MachineSanitizer:
                 )
 
     def _check_broadcast(self, proc, linked: list) -> None:
-        owners: dict[int, object] = {}
-        for node in linked:
-            tag = node.dest_tag
+        pool = proc.pool
+        dest_tag = pool.dest_tag
+        ref_col = pool.ref
+        owners: dict[int, int] = {}
+        for h in linked:
+            tag = dest_tag[h]
             if tag is None:
                 continue
             other = owners.get(id(tag))
             if other is not None:
                 self._fail(
                     proc, "broadcast-network",
-                    f"alive nodes {other!r} and {node!r} share one "
-                    "destination tag (single-writer rule violated)",
+                    f"alive slots {pool.describe(other)} and "
+                    f"{pool.describe(h)} share one destination tag "
+                    "(single-writer rule violated)",
                 )
-            owners[id(tag)] = node
-            if tag.producer is not node:
+            owners[id(tag)] = h
+            if tag.producer != ref_col[h]:
                 self._fail(
                     proc, "broadcast-network",
-                    f"destination tag of {node!r} is owned by "
-                    f"{tag.producer!r}",
+                    f"destination tag of {pool.describe(h)} is owned by "
+                    f"ref {tag.producer!r}",
                 )
 
     def _check_commit_order(self, proc) -> None:
@@ -216,34 +235,38 @@ class MachineSanitizer:
         self._last_retired = retired
 
     def _check_lsq(self, proc, linked: list) -> None:
+        from ..core.soa import ST_COMPLETED
+
         lsq = proc.lsq
-        window_uids = {n.uid for n in linked}
+        pool = proc.pool
+        uid_col = pool.uid
+        window_uids = {uid_col[h] for h in linked}
         for kind, table in (("store", lsq._stores), ("load", lsq._loads)):
-            for uid, node in table.items():
-                if uid != node.uid:
+            for uid, h in table.items():
+                if uid != uid_col[h]:
                     self._fail(
                         proc, "lsq",
-                        f"{kind} table key {uid} does not match node uid "
-                        f"{node.uid}",
+                        f"{kind} table key {uid} does not match slot uid "
+                        f"{uid_col[h]}",
                     )
                 if uid not in window_uids:
                     self._fail(
                         proc, "lsq",
-                        f"{kind} {node!r} is tracked by the LSQ but no "
-                        "longer linked in the window",
+                        f"{kind} {pool.describe(h)} is tracked by the LSQ "
+                        "but no longer linked in the window",
                     )
-        for uid, node in lsq._unresolved_stores.items():
+        for uid, h in lsq._unresolved_stores.items():
             if uid not in lsq._stores:
                 self._fail(
                     proc, "lsq",
-                    f"unresolved store {node!r} is not in the store table "
-                    "(unresolved set must be a subset)",
+                    f"unresolved store {pool.describe(h)} is not in the "
+                    "store table (unresolved set must be a subset)",
                 )
-        for uid, node in lsq._stores.items():
-            if not node.completed and uid not in lsq._unresolved_stores:
+        for uid, h in lsq._stores.items():
+            if not pool.state[h] & ST_COMPLETED and uid not in lsq._unresolved_stores:
                 self._fail(
                     proc, "lsq",
-                    f"incomplete store {node!r} is missing from the "
-                    "unresolved-store subset (memory ordering gate "
+                    f"incomplete store {pool.describe(h)} is missing from "
+                    "the unresolved-store subset (memory ordering gate "
                     "would ignore it)",
                 )

@@ -9,8 +9,9 @@ running it:
   heap aliases (``ready = self._ready``) — must occur at a declared
   site, and every declared site must exist;
 * every push must build the declared key: a 4-tuple whose middle
-  components are ``<node>.order`` and ``<node>.uid`` of the node that
-  rides in the payload slot;
+  components are the pool's ``order`` and ``uid`` columns subscripted
+  by the handle riding in the payload slot (directly as
+  ``pool.order[h]`` or through a local alias ``orders = pool.order``);
 * each order scheme's placement routine must reach its declared
   rewrite routine and must not reference the other scheme's;
 * the spec's mirror constants must equal their authoritative
@@ -56,6 +57,9 @@ class _HeapSiteFinder(ast.NodeVisitor):
         self.heap_attr = heap_attr
         self.heap_locals: set[str] = set()
         self.op_aliases: dict[str, str] = {}  # local name -> "push"|"pop"
+        #: local aliases of the pool's key columns: name -> "order"|"uid"
+        #: (from ``orders = pool.order`` / ``uids = pool.uid`` bindings)
+        self.col_aliases: dict[str, str] = {}
         #: discovered (op, call-node) pairs
         self.sites: list[tuple[str, ast.Call]] = []
 
@@ -85,6 +89,12 @@ class _HeapSiteFinder(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         op = self._heapq_op(node.value) if isinstance(node.value, (ast.Attribute, ast.Name)) else None
+        col = (
+            node.value.attr
+            if isinstance(node.value, ast.Attribute)
+            and node.value.attr in ("order", "uid")
+            else None
+        )
         for tgt in node.targets:
             if not isinstance(tgt, ast.Name):
                 continue
@@ -92,6 +102,8 @@ class _HeapSiteFinder(ast.NodeVisitor):
                 self.heap_locals.add(tgt.id)
             elif op is not None:
                 self.op_aliases[tgt.id] = op
+            elif col is not None:
+                self.col_aliases[tgt.id] = col
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -144,7 +156,7 @@ def check_heap_sites(
                     ),
                 )
             if op == "push":
-                _check_push_key(report, file, call, contract)
+                _check_push_key(report, file, call, contract, finder.col_aliases)
     for module, function, op in sorted(declared - found):
         _diag(
             report, _file_of(index, module), 1, f"{module}.{function}",
@@ -153,11 +165,32 @@ def check_heap_sites(
         )
 
 
+def _column_subscript(
+    el: ast.expr, column: str, col_aliases: dict[str, str]
+) -> str | None:
+    """If ``el`` is ``<pool>.{column}[<handle-name>]`` or
+    ``<alias>[<handle-name>]`` where the alias binds that column, return
+    the handle name; else None."""
+    if not isinstance(el, ast.Subscript) or not isinstance(el.slice, ast.Name):
+        return None
+    value = el.value
+    if isinstance(value, ast.Attribute) and value.attr == column:
+        return el.slice.id
+    if isinstance(value, ast.Name) and col_aliases.get(value.id) == column:
+        return el.slice.id
+    return None
+
+
 def _check_push_key(
-    report: LintReport, file: str, call: ast.Call, contract: ArbitrationContract
+    report: LintReport,
+    file: str,
+    call: ast.Call,
+    contract: ArbitrationContract,
+    col_aliases: dict[str, str] | None = None,
 ) -> None:
     symbol = f"push@{call.lineno}"
     key = contract.key
+    col_aliases = col_aliases or {}
     entry = call.args[1] if len(call.args) > 1 else None
     if not isinstance(entry, ast.Tuple) or len(entry.elts) != len(key.fields):
         _diag(
@@ -166,20 +199,21 @@ def _check_push_key(
             f"({', '.join(key.fields)}) tuple",
         )
         return
-    order_el, uid_el, node_el = entry.elts[1], entry.elts[2], entry.elts[3]
+    order_el, uid_el, handle_el = entry.elts[1], entry.elts[2], entry.elts[3]
+    order_of = _column_subscript(order_el, "order", col_aliases)
+    uid_of = _column_subscript(uid_el, "uid", col_aliases)
     ok = (
-        isinstance(order_el, ast.Attribute) and order_el.attr == "order"
-        and isinstance(uid_el, ast.Attribute) and uid_el.attr == "uid"
-        and isinstance(node_el, ast.Name)
-        and isinstance(order_el.value, ast.Name)
-        and isinstance(uid_el.value, ast.Name)
-        and order_el.value.id == uid_el.value.id == node_el.id
+        isinstance(handle_el, ast.Name)
+        and order_of is not None
+        and uid_of is not None
+        and order_of == uid_of == handle_el.id
     )
     if not ok:
         _diag(
             report, file, call.lineno, symbol,
-            "push key must capture <node>.order and <node>.uid of the "
-            "payload node (tie-break key composition)",
+            "push key must capture the pool's order[<handle>] and "
+            "uid[<handle>] of the payload handle (tie-break key "
+            "composition)",
         )
 
 

@@ -7,13 +7,13 @@ Rules (rule id → severity):
   family's ``__slots__`` nor its ``__init__``.  On slotted classes this
   is a latent ``AttributeError``; on the :class:`Processor` facade it
   silently grows the attribute surface the field-access atlas (and the
-  future SoA columnization) is built against.
+  columnar-pool object model) is built against.
 * ``same-cycle-war`` (warning) — a field is read under pipeline phase
   *i* and written under a later phase *j* of the same cycle
   (``complete < retire < issue < sequencer``).  Every such field is a
   genuine cross-stage hazard: its per-cycle value depends on the phase
   ordering hard-coded in ``Processor.step()``, so reordering phases —
-  or columnizing the field with deferred writes — changes semantics.
+  or deferring the column writes — changes semantics.
   The expected hazards are suppressed with reasons; the suppression
   table doubles as the repo's documented hazard inventory.
 * ``nondet-import`` (error) — a semantic module (one the simulation's
@@ -402,49 +402,56 @@ SOURCE_SUPPRESSIONS: tuple[SourceSuppression, ...] = (
     # intended write-after-read discipline, not a bug: step() runs
     # complete < retire < issue < sequencer precisely so each phase
     # observes the previous cycle's value of anything a later phase
-    # produces.  The enumerated symbols ARE the inventory the SoA
-    # columnization must preserve (a columnized field with deferred
-    # writes changes when later-phase writes become visible); a new
-    # field acquiring this pattern fails --strict until acknowledged
-    # here.  Grouped per class so staleness is detected per class.
+    # produces.  The per-instruction entries are now columns of the
+    # preallocated InstrPool (a subscript store through the column — or
+    # a hot-loop alias of it — is a write of that slot's cell); the
+    # discipline is unchanged from the per-node object model it
+    # replaced.  A new field acquiring this pattern fails --strict
+    # until acknowledged here.  Grouped per class so staleness is
+    # detected per class.
     SourceSuppression(
         rule="same-cycle-war",
         reason=(
-            "per-node pipeline state: issue writes execution results "
+            "per-slot pipeline columns: issue writes execution results "
             "(value/addr/outcome) after complete consumed last cycle's; "
-            "retire marks retirement after complete observed liveness; "
+            "retire flips state bits after complete observed liveness; "
             "the sequencer phase runs last so dispatch/squash writes "
-            "(order, tags, links, ready-state) land for next cycle's "
-            "readers — the one-cycle dispatch-to-issue latency the "
-            "paper's pipeline model requires"
+            "(order, tags, links, state bits, slot recycling via "
+            "uid/ref) land for next cycle's readers — the one-cycle "
+            "dispatch-to-issue latency the paper's pipeline model "
+            "requires"
         ),
         symbols=(
-            "DynInstr.addr",
-            "DynInstr.current_next_pc",
-            "DynInstr.dest_arch",
-            "DynInstr.dest_tag",
-            "DynInstr.dispatch_cycle",
-            "DynInstr.history_used",
-            "DynInstr.in_ready",
-            "DynInstr.inflight",
-            "DynInstr.issue_count",
-            "DynInstr.next",
-            "DynInstr.order",
-            "DynInstr.outcome_next_pc",
-            "DynInstr.outcome_taken",
-            "DynInstr.predicted_next_pc",
-            "DynInstr.prev",
-            "DynInstr.prev_addr",
-            "DynInstr.ras_snapshot",
-            "DynInstr.recovering",
-            "DynInstr.reissued_after_mp",
-            "DynInstr.retired",
-            "DynInstr.segment",
-            "DynInstr.squashed",
-            "DynInstr.src1_tag",
-            "DynInstr.src2_tag",
-            "DynInstr.store_value",
-            "DynInstr.value",
+            "InstrPool.addr",
+            "InstrPool.current_next_pc",
+            "InstrPool.current_taken",
+            "InstrPool.dest_arch",
+            "InstrPool.dest_tag",
+            "InstrPool.dispatch_cycle",
+            "InstrPool.first_issue_cycle",
+            "InstrPool.fwd_store",
+            "InstrPool.history_used",
+            "InstrPool.instr",
+            "InstrPool.issue_count",
+            "InstrPool.next",
+            "InstrPool.order",
+            "InstrPool.outcome_next_pc",
+            "InstrPool.outcome_taken",
+            "InstrPool.pc",
+            "InstrPool.predicted_next_pc",
+            "InstrPool.prev",
+            "InstrPool.prev_addr",
+            "InstrPool.ras_snapshot",
+            "InstrPool.ref",
+            "InstrPool.segment",
+            "InstrPool.src1_tag",
+            "InstrPool.src1_version",
+            "InstrPool.src2_tag",
+            "InstrPool.src2_version",
+            "InstrPool.state",
+            "InstrPool.store_value",
+            "InstrPool.uid",
+            "InstrPool.value",
         ),
     ),
     SourceSuppression(
@@ -518,6 +525,7 @@ SOURCE_SUPPRESSIONS: tuple[SourceSuppression, ...] = (
             "_Context.phase",
             "_Context.reconv",
             "_Context.stalled",
+            "_Context.walk_cursor",
         ),
     ),
 )

@@ -30,13 +30,18 @@ def _target_classes() -> dict[str, tuple[type, ...]]:
     from repro.core.lsq import LoadStoreQueue
     from repro.core.processor import Processor
     from repro.core.regfile import PhysReg
-    from repro.core.rob import DynInstr, ReorderBuffer, Segment
-    from repro.core.soa import CompletionWheel, _ArrayOrderIndex, _NumpyOrderIndex
+    from repro.core.rob import ReorderBuffer, Segment
+    from repro.core.soa import (
+        CompletionWheel,
+        InstrPool,
+        _ArrayOrderIndex,
+        _NumpyOrderIndex,
+    )
     from repro.core.stages.sequencer import _Context
 
     return {
         "CompletionWheel": (CompletionWheel,),
-        "DynInstr": (DynInstr,),
+        "InstrPool": (InstrPool,),
         "LoadStoreQueue": (LoadStoreQueue,),
         "OrderIndex": (_ArrayOrderIndex, _NumpyOrderIndex),
         "PhysReg": (PhysReg,),

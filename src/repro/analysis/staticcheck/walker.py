@@ -11,9 +11,13 @@ contract) share:
   from the AST base-class lists rather than hardcoded.
 * an **access index** — every attribute read / write / container
   mutation whose receiver resolves to one of the tracked model classes
-  (``DynInstr``, ``ReorderBuffer``/``OrderIndex``, ``LoadStoreQueue``,
+  (``InstrPool``, ``ReorderBuffer``/``OrderIndex``, ``LoadStoreQueue``,
   ``Processor``, ``_Context``, ``PhysReg``, ``Segment``,
-  ``CompletionWheel``), attributed to the defining method.
+  ``CompletionWheel``), attributed to the defining method.  Columnar
+  ``InstrPool`` state is accessed both directly (``pool.order[h]``) and
+  through hot-loop column aliases (``orders = pool.order`` then
+  ``orders[h]``); the scanner tracks those aliases so a subscript store
+  through one still records a mutation of the owning column.
 * a **call graph** over the tracked classes' methods, used to attribute
   each access to the pipeline phase(s) it runs under.
 
@@ -36,7 +40,7 @@ from pathlib import Path
 #: classes whose field accesses the atlas tracks (family-canonical names)
 TRACKED_CLASSES = (
     "CompletionWheel",
-    "DynInstr",
+    "InstrPool",
     "LoadStoreQueue",
     "OrderIndex",
     "PhysReg",
@@ -50,37 +54,17 @@ TRACKED_CLASSES = (
 #: read off the AST: the declared type of object-holding fields, with
 #: ``list:T`` / ``dict:T`` marking containers whose elements are ``T``.
 FIELD_TYPES: dict[tuple[str, str], str] = {
-    ("DynInstr", "prev"): "DynInstr",
-    ("DynInstr", "next"): "DynInstr",
-    ("DynInstr", "fwd_store"): "DynInstr",
-    ("DynInstr", "src1_tag"): "PhysReg",
-    ("DynInstr", "src2_tag"): "PhysReg",
-    ("DynInstr", "dest_tag"): "PhysReg",
-    ("DynInstr", "prev_tag"): "PhysReg",
-    ("DynInstr", "segment"): "Segment",
-    ("ReorderBuffer", "head_sentinel"): "DynInstr",
-    ("ReorderBuffer", "tail_sentinel"): "DynInstr",
-    ("ReorderBuffer", "head"): "DynInstr",  # property
-    ("ReorderBuffer", "tail"): "DynInstr",  # property
+    ("ReorderBuffer", "pool"): "InstrPool",
     ("ReorderBuffer", "_alive_orders"): "OrderIndex",
+    ("LoadStoreQueue", "pool"): "InstrPool",
+    ("Processor", "pool"): "InstrPool",
     ("Processor", "rob"): "ReorderBuffer",
     ("Processor", "lsq"): "LoadStoreQueue",
     ("Processor", "frontier"): "_Context",
     ("Processor", "_completing"): "CompletionWheel",
-    ("Processor", "_oldest_gate"): "DynInstr",
     ("Processor", "_last_active"): "_Context",
     ("Processor", "contexts"): "list:_Context",
-    ("Processor", "_incomplete_branches"): "dict:DynInstr",
     ("Processor", "retired_map"): "list:PhysReg",
-    ("LoadStoreQueue", "_stores"): "dict:DynInstr",
-    ("LoadStoreQueue", "_loads"): "dict:DynInstr",
-    ("LoadStoreQueue", "_unresolved_stores"): "dict:DynInstr",
-    ("PhysReg", "producer"): "DynInstr",
-    ("PhysReg", "consumers"): "list:DynInstr",
-    ("_Context", "branch"): "DynInstr",
-    ("_Context", "reconv"): "DynInstr",
-    ("_Context", "insert_point"): "DynInstr",
-    ("_Context", "walk_cursor"): "DynInstr",
     ("_Context", "segment"): "Segment",
     ("_Context", "rmap"): "list:PhysReg",
 }
@@ -90,12 +74,7 @@ RETURN_TYPES: dict[tuple[str, str], str] = {
     ("ReorderBuffer", "alloc_into"): "Segment",
     ("ReorderBuffer", "append"): "Segment",
     ("ReorderBuffer", "insert_after"): "Segment",
-    ("ReorderBuffer", "iter_from"): "list:DynInstr",
-    ("ReorderBuffer", "iter_all"): "list:DynInstr",
-    ("LoadStoreQueue", "forward_source"): "DynInstr",
-    ("LoadStoreQueue", "loads_affected_by"): "list:DynInstr",
     ("Processor", "_active_context"): "_Context",
-    ("Processor", "_find_reconvergent"): "DynInstr",
     ("Processor", "_map_after"): "list:PhysReg",
 }
 
@@ -103,24 +82,7 @@ RETURN_TYPES: dict[tuple[str, str], str] = {
 #: tier of receiver inference.  Adding a name here widens the atlas; the
 #: dynamic trace gate catches omissions, review catches mis-additions.
 NAME_FALLBACK: dict[str, str] = {
-    "node": "DynInstr",
-    "branch": "DynInstr",
-    "victim": "DynInstr",
-    "consumer": "DynInstr",
-    "load": "DynInstr",
-    "store": "DynInstr",
-    "succ": "DynInstr",
-    "prev": "DynInstr",
-    "cursor": "DynInstr",
-    "oldest": "DynInstr",
-    "other": "DynInstr",
-    "best": "DynInstr",
-    "ci": "DynInstr",
-    "reconv": "DynInstr",
-    "last_kept": "DynInstr",
-    "anchor": "DynInstr",
-    "after": "DynInstr",
-    "stop": "DynInstr",
+    "pool": "InstrPool",
     "ctx": "_Context",
     "current": "_Context",
     "frontier": "_Context",
@@ -492,10 +454,25 @@ class _FunctionScanner:
             for tgt in stmt.targets:
                 self._record_attr_target(tgt, aug=False)
 
+    def _col_alias(self, value: ast.expr) -> str | None:
+        """``orders = pool.order`` — a local alias of a tracked-class
+        column/container field; subscript stores through the alias are
+        mutations of the owning field."""
+        if isinstance(value, ast.Attribute):
+            base = self.infer(value.value)
+            if (
+                base in TRACKED_CLASSES
+                and value.attr in self.index.declared_fields(base)
+            ):
+                return f"col:{base}.{value.attr}"
+        return None
+
     def _bind_target(self, tgt: ast.expr, inferred: str | None, value: ast.expr) -> None:
         if isinstance(tgt, ast.Name):
             if inferred is not None:
                 self.env[tgt.id] = inferred
+            elif (col := self._col_alias(value)) is not None:
+                self.env[tgt.id] = col
             elif (
                 isinstance(value, ast.Attribute)
                 and isinstance(value.value, ast.Name)
@@ -523,9 +500,28 @@ class _FunctionScanner:
             if isinstance(tgt.value, ast.Attribute):
                 self._record(tgt.value, "mutate")
                 self._scan_expr(tgt.value.value)
+            elif isinstance(tgt.value, ast.Name):
+                self._record_col_mutate(tgt.value, tgt.lineno)
         elif isinstance(tgt, (ast.Tuple, ast.List)):
             for elt in tgt.elts:
                 self._scan_target(elt)
+
+    def _record_col_mutate(self, name_node: ast.Name, line: int) -> None:
+        """Subscript store through a column alias mutates the column."""
+        label = self.env.get(name_node.id)
+        if label is None or not label.startswith("col:"):
+            return
+        cls, attr = label[len("col:"):].split(".", 1)
+        self.accesses.append(
+            Access(
+                cls=cls,
+                attr=attr,
+                kind="mutate",
+                method=self.method.qualname,
+                module=self.method.module,
+                line=line,
+            )
+        )
 
     def _record_attr_target(self, tgt: ast.expr, aug: bool) -> None:
         if isinstance(tgt, ast.Attribute):
@@ -538,10 +534,12 @@ class _FunctionScanner:
             if isinstance(tgt.value, ast.Attribute):
                 self._record(tgt.value, "mutate")
                 self._scan_expr(tgt.value.value)
+            elif isinstance(tgt.value, ast.Name):
+                self._record_col_mutate(tgt.value, tgt.lineno)
 
     def _record(self, attr_node: ast.Attribute, kind: str) -> None:
         receiver = self.infer(attr_node.value)
-        if receiver is None or receiver.startswith(("list:", "dict:", "method:")):
+        if receiver is None or receiver.startswith(("list:", "dict:", "method:", "col:")):
             return
         if receiver not in TRACKED_CLASSES:
             return

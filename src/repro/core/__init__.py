@@ -14,7 +14,8 @@ from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .processor import Processor, simulate_core
 from .regfile import PhysReg, RenameMap
-from .rob import DynInstr, ReorderBuffer, Segment
+from .rob import ReorderBuffer, Segment
+from .soa import InstrPool
 from .stats import (
     CoreStats,
     ORDER_SCHEME_INVARIANT_FIELDS,
@@ -29,8 +30,8 @@ __all__ = [
     "CoreConfig",
     "CoreStats",
     "CosimulationError",
-    "DynInstr",
     "GoldenTrace",
+    "InstrPool",
     "LoadStoreQueue",
     "MachineSnapshot",
     "PhysReg",

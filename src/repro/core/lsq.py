@@ -8,80 +8,104 @@ squashed out of the window, every younger load that already executed
 against an affected address is reissued — and its dependence chain
 follows through the register broadcast mechanism.
 
-Order between entries comes from the ROB's order keys, so entries
-inserted into the middle of the window by a restart sequence compare
-correctly (paper Appendix A.4.3's physical-to-logical translation).
+Entries are pool handles into the shared columnar
+:class:`~repro.core.soa.InstrPool`; the queue tracks only *live*
+instructions (``drop`` runs before the ROB recycles a slot), so handles
+here never dangle.  Order between entries comes from the pool's order
+column, so entries inserted into the middle of the window by a restart
+sequence compare correctly (paper Appendix A.4.3's physical-to-logical
+translation).
 """
 
 from __future__ import annotations
 
-from .rob import DynInstr
+from .soa import ST_COMPLETED, InstrPool
 
 
 class LoadStoreQueue:
-    """Tracks live loads and stores in the window."""
+    """Tracks live loads and stores in the window, by pool handle."""
 
-    def __init__(self):
-        self._stores: dict[int, DynInstr] = {}
-        self._loads: dict[int, DynInstr] = {}
+    def __init__(self, pool: InstrPool):
+        self.pool = pool
+        self._stores: dict[int, int] = {}
+        self._loads: dict[int, int] = {}
         #: stores whose address is still unknown — kept in sync by
         #: :meth:`store_resolved` so the branch-completion gate scans the
         #: (usually tiny) unresolved subset, not every store in flight
-        self._unresolved_stores: dict[int, DynInstr] = {}
+        self._unresolved_stores: dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def add(self, node: DynInstr) -> None:
-        if node.instr.f_store:
-            self._stores[node.uid] = node
-            self._unresolved_stores[node.uid] = node
-        elif node.instr.f_load:
-            self._loads[node.uid] = node
+    def add(self, h: int) -> None:
+        pool = self.pool
+        instr = pool.instr[h]
+        uid = pool.uid[h]
+        if instr.f_store:
+            self._stores[uid] = h
+            self._unresolved_stores[uid] = h
+        elif instr.f_load:
+            self._loads[uid] = h
 
-    def drop(self, node: DynInstr) -> None:
-        if not node.instr.f_mem:  # only memory ops are ever tracked
+    def drop(self, h: int) -> None:
+        pool = self.pool
+        if not pool.instr[h].f_mem:  # only memory ops are ever tracked
             return
-        self._stores.pop(node.uid, None)
-        self._loads.pop(node.uid, None)
-        self._unresolved_stores.pop(node.uid, None)
+        uid = pool.uid[h]
+        self._stores.pop(uid, None)
+        self._loads.pop(uid, None)
+        self._unresolved_stores.pop(uid, None)
 
-    def store_resolved(self, node: DynInstr) -> None:
+    def store_resolved(self, h: int) -> None:
         """The store completed: its address is now known."""
-        self._unresolved_stores.pop(node.uid, None)
+        self._unresolved_stores.pop(self.pool.uid[h], None)
 
     # ------------------------------------------------------------------
-    def forward_source(self, load: DynInstr) -> DynInstr | None:
+    def forward_source(self, load: int) -> int | None:
         """Youngest older executed store matching the load's address."""
-        best: DynInstr | None = None
-        addr = load.addr
-        order = load.order
-        for store in self._stores.values():
+        pool = self.pool
+        state = pool.state
+        addr_col = pool.addr
+        order_col = pool.order
+        best: int | None = None
+        best_order = 0
+        addr = addr_col[load]
+        order = order_col[load]
+        for sh in self._stores.values():
+            store_order = order_col[sh]
             if (
-                store.completed
-                and store.addr == addr
-                and store.order < order
-                and (best is None or store.order > best.order)
+                state[sh] & ST_COMPLETED
+                and addr_col[sh] == addr
+                and store_order < order
+                and (best is None or store_order > best_order)
             ):
-                best = store
+                best = sh
+                best_order = store_order
         return best
 
-    def unresolved_older_stores(self, node: DynInstr) -> bool:
+    def unresolved_older_stores(self, h: int) -> bool:
         """Any older store whose address is still unknown?"""
-        order = node.order
-        for store in self._unresolved_stores.values():
-            if not store.completed and store.order < order:
+        pool = self.pool
+        state = pool.state
+        order_col = pool.order
+        order = order_col[h]
+        for sh in self._unresolved_stores.values():
+            if not state[sh] & ST_COMPLETED and order_col[sh] < order:
                 return True
         return False
 
-    def loads_affected_by(self, store: DynInstr, addrs: set[int]) -> list[DynInstr]:
+    def loads_affected_by(self, store: int, addrs: set[int]) -> list[int]:
         """Younger loads that already executed against an affected address.
 
         Conservative: any younger executed load whose address matches the
         store's old or new address is reissued; the precise forwarding
         check happens when the load re-executes.
         """
-        order = store.order
+        pool = self.pool
+        order_col = pool.order
+        addr_col = pool.addr
+        issue_count = pool.issue_count
+        order = order_col[store]
         out = []
-        for load in self._loads.values():
-            if load.order > order and load.addr in addrs and load.issue_count > 0:
-                out.append(load)
+        for lh in self._loads.values():
+            if order_col[lh] > order and addr_col[lh] in addrs and issue_count[lh] > 0:
+                out.append(lh)
         return out

@@ -2,7 +2,8 @@
 superscalar processor (paper Sections 3-4 and Appendix).
 
 The machine is a 16-wide, 5-stage out-of-order processor with a
-linked-list (optionally segmented) reorder buffer, unlimited physical
+linked-window (optionally segmented) reorder buffer over a columnar
+instruction pool (:class:`repro.core.soa.InstrPool`), unlimited physical
 registers, an aggressive load/store queue, and a gshare/CTB/RAS front
 end.  Control independence is exploited exactly as the paper describes:
 
@@ -44,8 +45,14 @@ from .config import CoreConfig, ReconvPolicy
 from .golden import GoldenTrace
 from .lsq import LoadStoreQueue
 from .regfile import PhysReg
-from .rob import DynInstr, ReorderBuffer
-from .soa import CompletionWheel
+from .rob import ReorderBuffer
+from .soa import (
+    CompletionWheel,
+    ST_COMPLETED,
+    ST_INFLIGHT,
+    ST_IN_READY,
+    ST_RECOVERING,
+)
 from .stats import CoreStats
 from .stages import (
     BackendStage,
@@ -90,7 +97,10 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         self.rob = ReorderBuffer(
             cfg.window_size, cfg.segment_size, order_scheme=cfg.order_scheme
         )
-        self.lsq = LoadStoreQueue()
+        #: the columnar instruction store backing every in-window
+        #: instruction; stage mixins address instructions as pool handles
+        self.pool = self.rob.pool
+        self.lsq = LoadStoreQueue(self.pool)
         self.cache = (
             PerfectCache(latency=1)
             if cfg.perfect_cache
@@ -123,9 +133,13 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
 
         self._last_active: _Context | None = None
         self._needs_remap = False
-        self._ready: list[tuple[int, int, int, DynInstr]] = []
-        self._pending_branches: list[tuple[DynInstr, int]] = []
-        self._incomplete_branches: dict[int, DynInstr] = {}
+        #: ready heap of pure int tuples (eligible, order, uid, handle);
+        #: the uid self-validates popped entries against slot recycling
+        self._ready: list[tuple[int, int, int, int]] = []
+        #: gated branches as (packed ref, issue token) pairs
+        self._pending_branches: list[tuple[int, int]] = []
+        #: uid -> pool handle of every in-window incomplete branch
+        self._incomplete_branches: dict[int, int] = {}
 
         # Hot-path precomputation: execution latency by dense opcode, and
         # the completion-model gates resolved to plain booleans.
@@ -150,10 +164,10 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         # Event-maintained gating state: the oldest alive incomplete
         # branch (in-order completion models consult it per completing
         # branch instead of rescanning every incomplete branch).  The
-        # cache is repaired on dispatch and invalidated when its node
+        # cache is repaired on dispatch and invalidated when its slot
         # completes or is squashed; ``None`` while valid means "no
         # incomplete branch in the window".
-        self._oldest_gate: DynInstr | None = None
+        self._oldest_gate: int | None = None
         self._oldest_gate_valid = True
 
         # Rename-map memoization: _map_after results are valid until the
@@ -206,16 +220,18 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
         if head is None:
             head_pc, head_status, head_age = None, "empty", None
         else:
-            head_age = self.cycle - head.dispatch_cycle
+            pool = self.pool
+            head_age = self.cycle - pool.dispatch_cycle[head]
+            s = int(pool.state[head])
             flags = []
-            flags.append("completed" if head.completed else "incomplete")
-            if head.in_ready:
+            flags.append("completed" if s & ST_COMPLETED else "incomplete")
+            if s & ST_IN_READY:
                 flags.append("in-ready")
-            if head.inflight:
+            if s & ST_INFLIGHT:
                 flags.append("inflight")
-            if head.recovering:
+            if s & ST_RECOVERING:
                 flags.append("recovering")
-            head_pc, head_status = head.pc, " ".join(flags)
+            head_pc, head_status = pool.pc[head], " ".join(flags)
         last_retired_pc = (
             self.golden.entries[self.retired_count - 1].pc
             if 0 < self.retired_count <= len(self.golden.entries)
@@ -242,21 +258,22 @@ class Processor(SequencerStage, BackendStage, RecoveryStage, RetireStage):
             return self.frontier
         # The oldest outstanding recovery blocks retirement: service it
         # first (optimal preemption resumes suspended sequences in order).
-        return min(self.contexts, key=lambda c: c.branch.order)
+        orders = self.pool.order
+        return min(self.contexts, key=lambda c: orders[c.branch])
 
-    def _golden_index(self, node: DynInstr) -> int:
+    def _golden_index(self, h: int) -> int:
         """Approximate golden-trace index of an in-window instruction.
 
         Counts alive instructions from the window head (the paper's own
         instance-matching approach, with the same instance-mismatch
         caveats it describes in Appendix A.3.1).  Served by the ROB's
         incrementally maintained position index rather than a per-call
-        head-to-node scan."""
-        return self.retired_count + self.rob.index_of(node)
+        head-to-slot scan."""
+        return self.retired_count + self.rob.index_of(h)
 
-    def _golden_entry_for(self, node: DynInstr):
-        entry = self.golden.entry(self._golden_index(node))
-        if entry is not None and entry.pc == node.pc:
+    def _golden_entry_for(self, h: int):
+        entry = self.golden.entry(self._golden_index(h))
+        if entry is not None and entry.pc == self.pool.pc[h]:
             return entry
         return None
 

@@ -5,6 +5,13 @@ tags are simply objects.  Selective reissue makes a tag a *write-many*
 cell: the same physical register receives a new value each time its
 producer reissues, and consumers registered on the tag are woken to
 reissue whenever the broadcast value actually changes.
+
+Consumers and the producer are recorded as *packed pool references*
+(``InstrPool.ref`` values, ``(uid << 32) | handle``), not handles: a
+consumer entry can outlive its instruction (retire/squash does not scrub
+registration lists), and a packed ref self-invalidates once the slot is
+recycled (``pool.ref[ref & REF_MASK] != ref``), exactly replacing the
+historical dead-node identity checks.
 """
 
 from __future__ import annotations
@@ -21,8 +28,8 @@ class PhysReg:
         self.value = 0
         self.ready = False
         self.version = 0
-        self.consumers: list = []  # DynInstr nodes to wake on broadcast
-        self.producer = producer  # DynInstr that owns this tag (None = arch)
+        self.consumers: list = []  # packed refs to wake on broadcast
+        self.producer = producer  # packed ref of the owner (None = arch)
 
     def broadcast(self, value: int) -> bool:
         """Publish a (possibly new) value; returns True if it changed."""

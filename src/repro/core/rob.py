@@ -1,15 +1,23 @@
 """Reorder buffer for the detailed core (paper Section 3.2.2, App. A.4).
 
-The ROB is a doubly-linked list of dynamic instructions supporting
+The ROB is a doubly-linked window of dynamic instructions supporting
 insertion and removal at arbitrary points — the structure restart
-sequences need.  Logical order between any two entries is decided by
-integer keys, maintained under one of two schemes (``CoreConfig
-(order_scheme=...)`` / ``REPRO_ORDER``):
+sequences need.  Since the columnar object model
+(:class:`repro.core.soa.InstrPool`), an instruction is an integer
+*handle* into the pool's columns and the links are two int columns
+(``prev``/``next``) indexed by handle; the window boundaries are the
+pool's permanent :data:`~repro.core.soa.HEAD` /
+:data:`~repro.core.soa.TAIL` slots, so there are no sentinel objects
+(and no uninitialized-``Instruction`` hack to fabricate them).
+
+Logical order between any two entries is decided by integer keys in the
+pool's ``order`` column, maintained under one of two schemes
+(``CoreConfig(order_scheme=...)`` / ``REPRO_ORDER``):
 
 * ``v1`` — the seed's midpoint discipline: every insert (including tail
   appends) takes the midpoint of its neighbours' keys, and a full-window
   renumber respaces everything when a gap is exhausted.  Because appends
-  halve the gap to the tail sentinel, a renumber fires every ~16
+  halve the gap to the tail boundary, a renumber fires every ~16
   dispatches — per fetch cycle at the paper's width.
 * ``v2`` — renumber-free: tail appends (the hot path) take strictly
   monotonic sequence numbers spaced ``_SPACING`` apart, so keys are
@@ -39,17 +47,20 @@ has retired or been squashed.
 
 from __future__ import annotations
 
-from ..isa import Instruction
 from .config import resolve_order_scheme
-from .soa import OrderIndex
+from .soa import HEAD, TAIL, InstrPool, OrderIndex
 
 _SPACING = 1 << 16
 
-#: v2 tail-sentinel key: far above any reachable sequence number (a run
+#: v2 tail-boundary key: far above any reachable sequence number (a run
 #: would need ~2^46 dispatches to approach it), so the youngest real
-#: instruction always has a huge gap to the sentinel and appends never
+#: instruction always has a huge gap to the boundary and appends never
 #: trigger gap maintenance.
 _V2_TAIL = 1 << 62
+
+#: "no link" value of the pool's ``prev``/``next`` columns (outward
+#: sides of the boundary slots only — every linked slot has real links)
+NO_LINK = -1
 
 
 class Segment:
@@ -61,107 +72,8 @@ class Segment:
         self.live = 0
 
 
-class DynInstr:
-    """One dynamic instruction in flight."""
-
-    __slots__ = (
-        "uid",
-        "pc",
-        "instr",
-        "prev",
-        "next",
-        "order",
-        "segment",
-        # rename
-        "src1_tag",
-        "src2_tag",
-        "dest_tag",
-        "dest_arch",
-        "prev_tag",
-        # execution state
-        "dispatch_cycle",
-        "issue_count",
-        "inflight",
-        "completed",
-        "value",
-        "addr",
-        "prev_addr",
-        "store_value",
-        "fwd_store",
-        "retired",
-        "squashed",
-        "in_ready",
-        "src1_version",
-        "src2_version",
-        # control state
-        "predicted_taken",
-        "predicted_next_pc",
-        "history_used",
-        "ras_snapshot",
-        "current_taken",
-        "current_next_pc",
-        "outcome_taken",
-        "outcome_next_pc",
-        "recovering",
-        "first_issue_cycle",
-        "value_final_cycle",
-        "fetched_under_mp",
-        "issued_under_mp",
-        "reissued_after_mp",
-    )
-
-    def __init__(self, uid: int, pc: int, instr: Instruction):
-        self.uid = uid
-        self.pc = pc
-        self.instr = instr
-        self.prev = None
-        self.next = None
-        self.order = 0
-        self.segment = None
-        self.src1_tag = None
-        self.src2_tag = None
-        self.dest_tag = None
-        self.dest_arch = None
-        self.prev_tag = None
-        self.dispatch_cycle = 0
-        self.issue_count = 0
-        self.inflight = False
-        self.completed = False
-        self.value = None
-        self.addr = None
-        self.prev_addr = None
-        self.store_value = None
-        self.fwd_store = None
-        self.retired = False
-        self.squashed = False
-        self.in_ready = False
-        self.src1_version = -1
-        self.src2_version = -1
-        self.predicted_taken = False
-        self.predicted_next_pc = 0
-        self.history_used = 0
-        self.ras_snapshot = None
-        self.current_taken = False
-        self.current_next_pc = 0
-        self.outcome_taken = False
-        self.outcome_next_pc = 0
-        self.recovering = False
-        self.first_issue_cycle = -1
-        self.value_final_cycle = -1
-        self.fetched_under_mp = False
-        self.issued_under_mp = False
-        self.reissued_after_mp = False
-
-    @property
-    def alive(self) -> bool:
-        return not (self.retired or self.squashed)
-
-    def __repr__(self) -> str:  # debugging aid
-        return f"<{self.uid}:{self.pc}:{self.instr.op.name}>"
-
-
 class ReorderBuffer:
-    """Doubly-linked list with order keys and segment capacity."""
+    """Linked window over pool handles, with order keys and segments."""
 
     def __init__(
         self,
@@ -175,18 +87,23 @@ class ReorderBuffer:
         self.window_size = window_size
         self.segment_size = segment_size
         self.order_scheme = resolve_order_scheme(order_scheme)
-        self.head_sentinel = DynInstr(-1, -1, Instruction.__new__(Instruction))
-        self.tail_sentinel = DynInstr(-2, -1, Instruction.__new__(Instruction))
-        self.head_sentinel.next = self.tail_sentinel
-        self.tail_sentinel.prev = self.head_sentinel
-        self.head_sentinel.order = 0
+        #: the columnar instruction store: exactly the window plus the
+        #: two boundary slots, since every slot is freed the moment it
+        #: is unlinked at retire/squash
+        self.pool = InstrPool(window_size + 2, backend=soa_backend)
+        pool = self.pool
+        pool.next[HEAD] = TAIL
+        pool.prev[TAIL] = HEAD
+        pool.prev[HEAD] = NO_LINK
+        pool.next[TAIL] = NO_LINK
+        pool.order[HEAD] = 0
         self._v2 = self.order_scheme == "v2"
         if self._v2:
-            self.tail_sentinel.order = _V2_TAIL
+            pool.order[TAIL] = _V2_TAIL
             self._next_order = _SPACING  # next tail-append sequence number
             self._place = self._place_v2
         else:
-            self.tail_sentinel.order = 2 * _SPACING
+            pool.order[TAIL] = 2 * _SPACING
             self._place = self._place_v1
         self.count = 0  # live instructions
         self.segments_allocated = 0
@@ -194,7 +111,7 @@ class ReorderBuffer:
         #: incremental position index behind :meth:`index_of`, kept as a
         #: dense int64 column (:class:`repro.core.soa.OrderIndex`).
         #: Orders are unique under both schemes (a gap is respaced before
-        #: it collapses), so one bisect recovers a node's window position
+        #: it collapses), so one bisect recovers a slot's window position
         #: in O(log n) instead of the O(window) head-to-node scan the
         #: golden-trace matching paid per branch completion.
         self._alive_orders = OrderIndex(window_size, backend=soa_backend)
@@ -224,65 +141,79 @@ class ReorderBuffer:
     # list structure
 
     def _renumber(self) -> None:
+        pool = self.pool
+        order_col = pool.order
+        next_col = pool.next
         order = 0
-        node = self.head_sentinel
-        linked = -2  # exclude both sentinels from the count
-        while node is not None:
-            node.order = order
+        h = HEAD
+        linked = -2  # exclude both boundary slots from the count
+        while h != NO_LINK:
+            order_col[h] = order
             order += _SPACING
-            node = node.next
+            h = next_col[h]
             linked += 1
         self._alive_orders.renumber(linked, _SPACING)
 
-    def _place_v1(self, node: DynInstr, after: DynInstr) -> None:
-        succ = after.next
-        node.prev = after
-        node.next = succ
-        after.next = node
-        succ.prev = node
-        # NOTE: the ready heap captures ``node.order`` in its sort keys
+    def _place_v1(self, h: int, after: int) -> None:
+        pool = self.pool
+        prev_col = pool.prev
+        next_col = pool.next
+        order_col = pool.order
+        succ = next_col[after]
+        prev_col[h] = after
+        next_col[h] = succ
+        next_col[after] = h
+        prev_col[succ] = h
+        # NOTE: the ready heap captures ``order[h]`` in its sort keys
         # at push time — renumber *timing* is observable through
         # stale-key tie-breaks, and the v1 golden gate pins it.  Keys and
         # renumber points must stay exactly the seed's under this scheme.
-        lo, hi = after.order, succ.order
+        lo, hi = order_col[after], order_col[succ]
         if hi - lo < 2:
-            # Renumbering rebuilds the position index with ``node``
+            # Renumbering rebuilds the position index with ``h``
             # already linked; its midpoint order equals the renumbered
             # one, so the index entry is already correct.
             self._renumber()
-            lo, hi = after.order, succ.order
-            node.order = (lo + hi) // 2
+            lo, hi = order_col[after], order_col[succ]
+            order_col[h] = (lo + hi) // 2
             return
-        node.order = (lo + hi) // 2
-        self._alive_orders.insert(node.order)
+        order = (lo + hi) // 2
+        order_col[h] = order
+        self._alive_orders.insert(order)
 
     def _respace(self) -> None:
         """v2 fallback: respace every key after a restart-chain gap
-        collapse (the caller's node is already linked, so it gets its
-        slot here and the index refill already covers it)."""
+        collapse (the caller's slot is already linked, so it gets its
+        key here and the index refill already covers it)."""
+        pool = self.pool
+        order_col = pool.order
+        next_col = pool.next
         order = 0
-        node = self.head_sentinel
-        linked = -1  # exclude the head sentinel; the tail keeps _V2_TAIL
-        tail = self.tail_sentinel
-        while node is not tail:
-            node.order = order
+        h = HEAD
+        linked = -1  # exclude the head boundary; the tail keeps _V2_TAIL
+        while h != TAIL:
+            order_col[h] = order
             order += _SPACING
-            node = node.next
+            h = next_col[h]
             linked += 1
         self._next_order = order
         self._alive_orders.renumber(linked, _SPACING)
 
-    def _place_v2(self, node: DynInstr, after: DynInstr) -> None:
-        succ = after.next
-        node.prev = after
-        node.next = succ
-        after.next = node
-        succ.prev = node
-        if succ is self.tail_sentinel:
+    def _place_v2(self, h: int, after: int) -> None:
+        pool = self.pool
+        prev_col = pool.prev
+        next_col = pool.next
+        order_col = pool.order
+        succ = next_col[after]
+        prev_col[h] = after
+        next_col[h] = succ
+        next_col[after] = h
+        prev_col[succ] = h
+        if succ == TAIL:
             # Hot path: frontier dispatch appends take the next sequence
             # number — no gap math, no renumber, and the order index
             # extends by one tail write.
-            node.order = order = self._next_order
+            order_col[h] = order = self._next_order
             self._next_order = order + _SPACING
             self._alive_orders.append(order)
             return
@@ -292,64 +223,72 @@ class ReorderBuffer:
         # entries before the gap thins.  Only deeply nested restart
         # chains can exhaust one, and then a single respace restores
         # full spacing everywhere.
-        lo, hi = after.order, succ.order
+        lo, hi = order_col[after], order_col[succ]
         gap = hi - lo
         if gap < 2:
             self._respace()
             return
-        node.order = lo + ((gap >> 8) or 1)
-        self._alive_orders.insert(node.order)
+        order = lo + ((gap >> 8) or 1)
+        order_col[h] = order
+        self._alive_orders.insert(order)
 
-    def insert_after(self, after: DynInstr, node: DynInstr, segment: Segment | None) -> Segment | None:
-        """Link ``node`` after ``after``; returns the segment used."""
-        self._place(node, after)
+    def insert_after(self, after: int, h: int, segment: Segment | None) -> Segment | None:
+        """Link slot ``h`` after ``after``; returns the segment used."""
+        self._place(h, after)
         self.count += 1
         if self.segment_size == 1:
             # One slot per instruction: capacity accounting is exactly
             # ``count``, so allocating a Segment per dispatch would be
-            # pure bookkeeping overhead (node.segment stays None and
-            # ``remove`` skips it).
+            # pure bookkeeping overhead (the segment column stays None
+            # and ``remove`` skips it).
             return None
         segment = self.alloc_into(segment)
-        node.segment = segment
+        self.pool.segment[h] = segment
         segment.live += 1
         return segment
 
-    def append(self, node: DynInstr, segment: Segment | None) -> Segment | None:
+    def append(self, h: int, segment: Segment | None) -> Segment | None:
+        pool = self.pool
         if not self._v2:
-            return self.insert_after(self.tail_sentinel.prev, node, segment)
+            return self.insert_after(pool.prev[TAIL], h, segment)
         # v2 frontier-dispatch fast path: a tail append is one link splice,
         # one monotonic key and one index tail write, fused here to spare
         # the insert_after/_place call frames on the hottest loop in the
         # simulator (one call per fetched instruction).
-        tail = self.tail_sentinel
-        prev = tail.prev
-        node.prev = prev
-        node.next = tail
-        prev.next = node
-        tail.prev = node
-        node.order = order = self._next_order
+        prev_col = pool.prev
+        next_col = pool.next
+        prev = prev_col[TAIL]
+        prev_col[h] = prev
+        next_col[h] = TAIL
+        next_col[prev] = h
+        prev_col[TAIL] = h
+        pool.order[h] = order = self._next_order
         self._next_order = order + _SPACING
         self._alive_orders.append(order)
         self.count += 1
         if self.segment_size == 1:
             return None
         segment = self.alloc_into(segment)
-        node.segment = segment
+        pool.segment[h] = segment
         segment.live += 1
         return segment
 
-    def remove(self, node: DynInstr) -> None:
-        """Unlink a squashed instruction and release its window slot."""
-        node.prev.next = node.next
-        node.next.prev = node.prev
-        segment = node.segment
+    def remove(self, h: int) -> None:
+        """Unlink a dead slot, release its window slot, recycle it."""
+        pool = self.pool
+        prev_col = pool.prev
+        next_col = pool.next
+        prev, nxt = prev_col[h], next_col[h]
+        next_col[prev] = nxt
+        prev_col[nxt] = prev
+        segment = pool.segment[h]
         if segment is not None:
             segment.live -= 1
             if segment.live == 0:
                 self.segments_allocated -= 1
         self.count -= 1
-        self._alive_orders.remove(node.order)
+        self._alive_orders.remove(pool.order[h])
+        pool.free(h)
 
     #: Unlink a retired instruction — same slot accounting as ``remove``,
     #: aliased rather than delegated (one call frame per retirement).
@@ -359,30 +298,31 @@ class ReorderBuffer:
     # traversal
 
     @property
-    def head(self) -> DynInstr | None:
-        node = self.head_sentinel.next
-        return node if node is not self.tail_sentinel else None
+    def head(self) -> int | None:
+        h = self.pool.next[HEAD]
+        return h if h != TAIL else None
 
     @property
-    def tail(self) -> DynInstr | None:
-        node = self.tail_sentinel.prev
-        return node if node is not self.head_sentinel else None
+    def tail(self) -> int | None:
+        h = self.pool.prev[TAIL]
+        return h if h != HEAD else None
 
-    def iter_from(self, node: DynInstr):
-        """Iterate from ``node`` (inclusive) to the tail."""
-        while node is not None and node is not self.tail_sentinel:
-            yield node
-            node = node.next
+    def iter_from(self, h: int):
+        """Iterate handles from ``h`` (inclusive) to the tail boundary."""
+        next_col = self.pool.next
+        while h != TAIL and h != NO_LINK:
+            yield h
+            h = next_col[h]
 
     def iter_all(self):
-        yield from self.iter_from(self.head_sentinel.next)
+        yield from self.iter_from(self.pool.next[HEAD])
 
-    def index_of(self, node: DynInstr) -> int:
-        """Window position of a linked node: the number of alive
+    def index_of(self, h: int) -> int:
+        """Window position of a linked slot: the number of alive
         instructions logically older than it (O(log n) via the
         incrementally maintained order index)."""
-        return self._alive_orders.position(node.order)
+        return self._alive_orders.position(self.pool.order[h])
 
-    def precedes(self, a: DynInstr, b: DynInstr) -> bool:
-        """True if ``a`` is logically older than ``b``."""
-        return a.order < b.order
+    def precedes(self, a: int, b: int) -> bool:
+        """True if slot ``a`` is logically older than slot ``b``."""
+        return self.pool.order[a] < self.pool.order[b]

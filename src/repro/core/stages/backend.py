@@ -7,6 +7,12 @@ including loads squashed by stores.  Branch completion is gated by the
 configured completion model (Appendix A.2): in-order models consult the
 event-maintained oldest-incomplete-branch cache, store-gated models the
 LSQ's unresolved-store subset.
+
+All instruction state lives in the columnar pool: the ready heap carries
+pure int tuples ``(eligible, order, uid, handle)`` — the uid in the
+tuple self-validates a popped entry against slot recycling — and the
+completion wheel plus the pending-branch list carry packed refs that
+self-invalidate the same way (``pool.ref[ref & REF_MASK] != ref``).
 """
 
 from __future__ import annotations
@@ -14,29 +20,42 @@ from __future__ import annotations
 import heapq
 
 from ...isa import CONTROL_KERNELS, VALUE_KERNELS, effective_addr
-from ..rob import DynInstr
+from ..soa import (
+    REF_MASK,
+    ST_COMPLETED,
+    ST_DEAD,
+    ST_FETCHED_MP,
+    ST_INFLIGHT,
+    ST_IN_READY,
+    ST_ISSUED_MP,
+    ST_REISSUED_MP,
+)
 
 
 class BackendStage:
     """Issue/execute/complete methods mixed into the Processor facade."""
 
-    def _operands_ready(self, node: DynInstr) -> bool:
-        t1, t2 = node.src1_tag, node.src2_tag
+    def _operands_ready(self, h: int) -> bool:
+        pool = self.pool
+        t1, t2 = pool.src1_tag[h], pool.src2_tag[h]
         return (t1 is None or t1.ready) and (t2 is None or t2.ready)
 
-    def _push_ready(self, node: DynInstr, eligible: int) -> None:
-        if node.in_ready:
+    def _push_ready(self, h: int, eligible: int) -> None:
+        pool = self.pool
+        state = pool.state
+        if state[h] & ST_IN_READY:
             return
-        node.in_ready = True
-        heapq.heappush(self._ready, (eligible, node.order, node.uid, node))
+        state[h] |= ST_IN_READY
+        heapq.heappush(self._ready, (eligible, pool.order[h], pool.uid[h], h))
 
-    def _wake(self, node: DynInstr, eligible: int) -> None:
+    def _wake(self, h: int, eligible: int) -> None:
         """A source tag broadcast a new value (or rename repair): reissue."""
-        if node.retired or node.squashed:
+        pool = self.pool
+        if pool.state[h] & ST_DEAD:
             return
-        if node.issue_count == 0 and not self._operands_ready(node):
+        if pool.issue_count[h] == 0 and not self._operands_ready(h):
             return
-        self._push_ready(node, max(eligible, node.dispatch_cycle + 2))
+        self._push_ready(h, max(eligible, pool.dispatch_cycle[h] + 2))
 
     # ==================================================================
     # issue & execute
@@ -46,38 +65,51 @@ class BackendStage:
         issued = 0
         ready = self._ready
         pop = heapq.heappop
+        pool = self.pool
+        state = pool.state
+        uids = pool.uid
+        cycle = self.cycle
         while ready and budget > 0:
-            eligible, _, _, node = ready[0]
-            if eligible > self.cycle:
+            eligible, _, uid, h = ready[0]
+            if eligible > cycle:
                 break
             pop(ready)
-            node.in_ready = False
-            if node.retired or node.squashed:
+            if uids[h] != uid:
+                # Slot recycled since push: the entry belongs to a dead
+                # instruction; the current occupant's own in_ready flag
+                # must not be touched.
                 continue
-            self._execute(node)
+            state[h] &= ~ST_IN_READY
+            if state[h] & ST_DEAD:
+                continue
+            self._execute(h)
             budget -= 1
             issued += 1
         if issued:
             self.stats.stage_issue_cycles += 1
 
-    def _execute(self, node: DynInstr) -> None:
+    def _execute(self, h: int) -> None:
         self.stats.issues_total += 1
-        node.issue_count += 1
-        if node.first_issue_cycle < 0:
-            node.first_issue_cycle = self.cycle
-        if node.fetched_under_mp and node.issued_under_mp:
-            node.reissued_after_mp = True
-        node.inflight = True
-        instr = node.instr
-        t1, t2 = node.src1_tag, node.src2_tag
+        pool = self.pool
+        token = pool.issue_count[h] + 1
+        pool.issue_count[h] = token
+        if pool.first_issue_cycle[h] < 0:
+            pool.first_issue_cycle[h] = self.cycle
+        state = pool.state
+        s = state[h]
+        if s & ST_FETCHED_MP and s & ST_ISSUED_MP:
+            s |= ST_REISSUED_MP
+        state[h] = s | ST_INFLIGHT
+        instr = pool.instr[h]
+        t1, t2 = pool.src1_tag[h], pool.src2_tag[h]
         if t1 is not None:
             a = t1.value
-            node.src1_version = t1.version
+            pool.src1_version[h] = t1.version
         else:
             a = 0
         if t2 is not None:
             b = t2.value
-            node.src2_version = t2.version
+            pool.src2_version[h] = t2.version
         else:
             b = 0
         # Dispatch straight to the shared raw kernels (single semantic
@@ -87,50 +119,56 @@ class BackendStage:
         if instr.f_mem:
             addr = effective_addr(instr, a)
             if instr.f_load:
-                node.addr = addr
+                pool.addr[h] = addr
                 latency = 1 + self.cache.access(addr)
             else:
-                node.prev_addr = node.addr
-                node.addr = addr
-                node.store_value = b
+                pool.prev_addr[h] = pool.addr[h]
+                pool.addr[h] = addr
+                pool.store_value[h] = b
                 latency = self._lat[opcode]
         elif instr.f_control:
-            taken, next_pc, value = CONTROL_KERNELS[opcode](instr, node.pc, a, b)
-            node.outcome_taken = taken
-            node.outcome_next_pc = next_pc
-            node.value = value  # call link address
+            taken, next_pc, value = CONTROL_KERNELS[opcode](instr, pool.pc[h], a, b)
+            pool.outcome_taken[h] = taken
+            pool.outcome_next_pc[h] = next_pc
+            pool.value[h] = value  # call link address
             latency = self._lat[opcode]
         else:
-            node.value = VALUE_KERNELS[opcode](instr, a, b)
+            pool.value[h] = VALUE_KERNELS[opcode](instr, a, b)
             latency = self._lat[opcode]
         # Inlined CompletionWheel.schedule: every latency comes from the
         # table the wheel was sized over at construction, so the horizon
         # guard cannot fire on this path.
         slot = (self.cycle + latency) & self._wheel_mask
-        self._wheel_nodes[slot].append(node)
-        self._wheel_tokens[slot].append(node.issue_count)
+        self._wheel_nodes[slot].append(pool.ref[h])
+        self._wheel_tokens[slot].append(token)
 
     # ==================================================================
     # completion
 
     def _complete_phase(self) -> None:
-        nodes, tokens = self._completing.take(self.cycle)
-        if nodes:
+        refs_due, tokens = self._completing.take(self.cycle)
+        pool = self.pool
+        refs = pool.ref
+        state = pool.state
+        issue_count = pool.issue_count
+        if refs_due:
             complete = self._complete
-            for node, token in zip(nodes, tokens):
-                if node.retired or node.squashed or token != node.issue_count:
+            for ref, token in zip(refs_due, tokens):
+                h = ref & REF_MASK
+                if refs[h] != ref or state[h] & ST_DEAD or token != issue_count[h]:
                     continue
-                node.inflight = False
-                complete(node)
-            nodes.clear()
+                state[h] &= ~ST_INFLIGHT
+                complete(h)
+            refs_due.clear()
             tokens.clear()
         if self._pending_branches:
-            still_pending: list[tuple[DynInstr, int]] = []
-            for node, token in self._pending_branches:
-                if node.retired or node.squashed or token != node.issue_count:
+            still_pending: list[tuple[int, int]] = []
+            for ref, token in self._pending_branches:
+                h = ref & REF_MASK
+                if refs[h] != ref or state[h] & ST_DEAD or token != issue_count[h]:
                     continue
-                if not self._try_complete_branch(node):
-                    still_pending.append((node, token))
+                if not self._try_complete_branch(h):
+                    still_pending.append((ref, token))
             self._pending_branches = still_pending
         if self._any_completed:
             self.stats.stage_complete_cycles += 1
@@ -139,35 +177,37 @@ class BackendStage:
             self.stats.stage_recover_cycles += 1
             self._any_recovered = False
 
-    def _complete(self, node: DynInstr) -> None:
-        instr = node.instr
+    def _complete(self, h: int) -> None:
+        pool = self.pool
+        instr = pool.instr[h]
         if instr.f_branch or instr.f_indirect:
-            if not self._try_complete_branch(node):
-                self._pending_branches.append((node, node.issue_count))
+            if not self._try_complete_branch(h):
+                self._pending_branches.append((pool.ref[h], pool.issue_count[h]))
             return
-        node.completed = True
+        pool.state[h] |= ST_COMPLETED
         self._any_completed = True
         if instr.f_load:
-            source = self.lsq.forward_source(node)
+            source = self.lsq.forward_source(h)
             if source is not None:
-                value = source.store_value
-                node.fwd_store = source
+                value = pool.store_value[source]
+                pool.fwd_store[h] = pool.ref[source]
             else:
-                value = self.committed_mem.get(node.addr, 0)
-                node.fwd_store = None
-            node.value = value
-            self._broadcast(node)
+                value = self.committed_mem.get(pool.addr[h], 0)
+                pool.fwd_store[h] = None
+            pool.value[h] = value
+            self._broadcast(h)
         elif instr.f_store:
-            self.lsq.store_resolved(node)
-            self._store_executed(node)
+            self.lsq.store_resolved(h)
+            self._store_executed(h)
         else:
-            self._broadcast(node)
+            self._broadcast(h)
 
-    def _broadcast(self, node: DynInstr) -> None:
-        tag = node.dest_tag
+    def _broadcast(self, h: int) -> None:
+        pool = self.pool
+        tag = pool.dest_tag[h]
         if tag is None:
             return
-        if tag.broadcast(node.value):
+        if tag.broadcast(pool.value[h]):
             # The wake-up below only pushes onto the ready heap — it never
             # mutates the consumer list — so iterating the live list
             # directly is safe (the old defensive copy allocated per
@@ -177,110 +217,139 @@ class BackendStage:
             # injectors arm that way), in which case every wakeup must
             # route through the patched hook.
             cycle = self.cycle
+            refs = pool.ref
+            state = pool.state
+            self_ref = refs[h]
             wake = self.__dict__.get("_wake")
             if wake is not None:
                 dead = 0
-                for consumer in tag.consumers:
-                    if not (consumer.retired or consumer.squashed):
-                        if consumer is not node:
-                            wake(consumer, cycle)
+                for ref in tag.consumers:
+                    ch = ref & REF_MASK
+                    if refs[ch] == ref and not state[ch] & ST_DEAD:
+                        if ref != self_ref:
+                            wake(ch, cycle)
                     else:
                         dead += 1
                 if dead > 8 and dead * 2 > len(tag.consumers):
-                    tag.consumers = [c for c in tag.consumers if c.alive]
+                    tag.consumers = [
+                        r
+                        for r in tag.consumers
+                        if refs[r & REF_MASK] == r
+                        and not state[r & REF_MASK] & ST_DEAD
+                    ]
                 return
             ready = self._ready
+            issue_count = pool.issue_count
+            src1_tag = pool.src1_tag
+            src2_tag = pool.src2_tag
+            dispatch_cycle = pool.dispatch_cycle
+            orders = pool.order
+            uids = pool.uid
             dead = 0
-            for consumer in tag.consumers:
-                if consumer.retired or consumer.squashed:
+            for ref in tag.consumers:
+                ch = ref & REF_MASK
+                s = state[ch]
+                if refs[ch] != ref or s & ST_DEAD:
                     dead += 1
                     continue
-                if consumer is node or consumer.in_ready:
+                if ref == self_ref or s & ST_IN_READY:
                     continue
-                if consumer.issue_count == 0:
-                    t1 = consumer.src1_tag
-                    t2 = consumer.src2_tag
+                if issue_count[ch] == 0:
+                    t1 = src1_tag[ch]
+                    t2 = src2_tag[ch]
                     if (t1 is not None and not t1.ready) or (
                         t2 is not None and not t2.ready
                     ):
                         continue
-                eligible = consumer.dispatch_cycle + 2
+                eligible = dispatch_cycle[ch] + 2
                 if eligible < cycle:
                     eligible = cycle
-                consumer.in_ready = True
-                heapq.heappush(
-                    ready, (eligible, consumer.order, consumer.uid, consumer)
-                )
+                state[ch] = s | ST_IN_READY
+                heapq.heappush(ready, (eligible, orders[ch], uids[ch], ch))
             if dead > 8 and dead * 2 > len(tag.consumers):
-                tag.consumers = [c for c in tag.consumers if c.alive]
+                tag.consumers = [
+                    r
+                    for r in tag.consumers
+                    if refs[r & REF_MASK] == r and not state[r & REF_MASK] & ST_DEAD
+                ]
 
-    def _store_executed(self, node: DynInstr) -> None:
-        addrs = {node.addr}
-        if node.prev_addr is not None:
-            addrs.add(node.prev_addr)  # loads bound to the stale address
-        affected = self.lsq.loads_affected_by(node, addrs)
-        for load in affected:
-            if load.fwd_store is node and load.value == node.store_value:
-                continue  # already forwarded the right value
-            self.stats.reissues_memory += 1
-            self._wake(load, self.cycle + 1)  # 1-cycle squash penalty
+    def _store_executed(self, h: int) -> None:
+        pool = self.pool
+        addrs = {pool.addr[h]}
+        if pool.prev_addr[h] is not None:
+            addrs.add(pool.prev_addr[h])  # loads bound to the stale address
+        affected = self.lsq.loads_affected_by(h, addrs)
+        if affected:
+            node_ref = pool.ref[h]
+            store_value = pool.store_value[h]
+            fwd = pool.fwd_store
+            value = pool.value
+            for load in affected:
+                if fwd[load] == node_ref and value[load] == store_value:
+                    continue  # already forwarded the right value
+                self.stats.reissues_memory += 1
+                self._wake(load, self.cycle + 1)  # 1-cycle squash penalty
 
     # ------------------------------------------------------------------
     # branch completion (gating models of Appendix A.2)
 
-    def _oldest_incomplete_branch(self) -> DynInstr | None:
+    def _oldest_incomplete_branch(self) -> int | None:
         """Oldest alive incomplete branch, maintained event-style: the
-        cache survives until its node completes or is squashed (dispatch
+        cache survives until its slot completes or is squashed (dispatch
         repairs it in place), so in-order gating is one order compare
         instead of a scan over every incomplete branch."""
         if not self._oldest_gate_valid:
+            pool = self.pool
+            state = pool.state
+            orders = pool.order
             oldest = None
-            for other in self._incomplete_branches.values():
-                if other.alive and not other.completed and (
-                    oldest is None or other.order < oldest.order
+            for oh in self._incomplete_branches.values():
+                if not state[oh] & (ST_COMPLETED | ST_DEAD) and (
+                    oldest is None or orders[oh] < orders[oldest]
                 ):
-                    oldest = other
+                    oldest = oh
             self._oldest_gate = oldest
             self._oldest_gate_valid = True
         return self._oldest_gate
 
-    def _branch_gates_open(self, node: DynInstr) -> bool:
+    def _branch_gates_open(self, h: int) -> bool:
         if self._gate_in_order:
             oldest = self._oldest_incomplete_branch()
-            if oldest is not None and oldest.order < node.order:
+            if oldest is not None and self.pool.order[oldest] < self.pool.order[h]:
                 return False
         if self._gate_stores:
             # Empty-subset guard: most cycles have no unresolved store in
             # flight, so skip the scan call outright.
-            if self.lsq._unresolved_stores and self.lsq.unresolved_older_stores(node):
+            if self.lsq._unresolved_stores and self.lsq.unresolved_older_stores(h):
                 return False
         return True
 
-    def _would_be_false_misprediction(self, node: DynInstr) -> bool:
-        entry = self._golden_entry_for(node)
+    def _would_be_false_misprediction(self, h: int) -> bool:
+        entry = self._golden_entry_for(h)
         if entry is None:
             return False
-        return entry.next_pc == node.current_next_pc
+        return entry.next_pc == self.pool.current_next_pc[h]
 
-    def _try_complete_branch(self, node: DynInstr) -> bool:
-        if not self._branch_gates_open(node):
+    def _try_complete_branch(self, h: int) -> bool:
+        if not self._branch_gates_open(h):
             return False
-        mismatch = node.outcome_next_pc != node.current_next_pc
+        pool = self.pool
+        mismatch = pool.outcome_next_pc[h] != pool.current_next_pc[h]
         if (
             mismatch
             and self.config.hide_false_mispredictions
-            and self._would_be_false_misprediction(node)
+            and self._would_be_false_misprediction(h)
         ):
             return False  # oracle delays completion until operands correct
-        node.completed = True
+        pool.state[h] |= ST_COMPLETED
         self._any_completed = True
-        self._incomplete_branches.pop(node.uid, None)
-        if self._oldest_gate is node:
+        self._incomplete_branches.pop(pool.uid[h], None)
+        if self._oldest_gate == h:
             self._oldest_gate_valid = False
-        if node.dest_tag is not None:  # calls write the link register
-            self._broadcast(node)
+        if pool.dest_tag[h] is not None:  # calls write the link register
+            self._broadcast(h)
         if mismatch:
-            self._recover(node)
+            self._recover(h)
         return True
 
 

@@ -8,12 +8,31 @@ the redispatch walk that remaps source registers, replays the RAS and
 re-predicts control-independent branches against the repaired history.
 Rename maps are rebuilt forward from the commit-side map and memoized
 per window epoch.
+
+Squash ordering under the columnar pool: ``_squash_node`` recycles the
+victim's slot immediately (``rob.remove`` pushes it on the free list),
+so any handle that could name the victim must be repaired *before* the
+unlink — the redispatch walk cursors of suspended contexts are advanced
+eagerly here, which is what keeps every context handle live (see the
+sequencer module docstring).  Reads of a just-freed slot's columns
+remain valid until the next allocation, and allocation only happens in
+``_dispatch``, never inside a squash cascade.
 """
 
 from __future__ import annotations
 
 from ..config import Preemption, ReconvPolicy, RepredictMode
-from ..rob import DynInstr
+from ..soa import (
+    HEAD,
+    TAIL,
+    ST_COMPLETED,
+    ST_DEAD,
+    ST_FETCHED_MP,
+    ST_ISSUED_MP,
+    ST_RECOVERING,
+    ST_REISSUED_MP,
+    ST_SQUASHED,
+)
 from .sequencer import _Context
 
 
@@ -23,23 +42,24 @@ class RecoveryStage:
     # ==================================================================
     # recovery (Sections 3.1, 4; Appendix A.1)
 
-    def _find_reconvergent(self, branch: DynInstr) -> DynInstr | None:
+    def _find_reconvergent(self, branch: int) -> int | None:
+        pool = self.pool
+        instr = pool.instr[branch]
+        pc = pool.pc[branch]
         policy = self.config.reconv_policy
         if policy is ReconvPolicy.NONE:
             return None
         if policy is ReconvPolicy.POSTDOM:
-            if not branch.instr.f_branch:
+            if not instr.f_branch:
                 return None
-            target = self.reconv_table.reconvergent_pc(branch.pc)
+            target = self.reconv_table.reconvergent_pc(pc)
             if target is None:
                 return None
             candidates = {target}
         else:
-            backward = (
-                branch.instr.f_branch and branch.instr.target <= branch.pc
-            )
+            backward = instr.f_branch and instr.target <= pc
             if policy.uses_ltb and backward:
-                candidates = {branch.pc + 1}  # not-taken target of the loop branch
+                candidates = {pc + 1}  # not-taken target of the loop branch
             else:
                 candidates = set()
                 if policy.uses_return:
@@ -55,34 +75,37 @@ class RecoveryStage:
         gap_markers = {
             ctx.insert_point for ctx in self.contexts if ctx.phase == "restart"
         }
-        node = branch.next
-        tail = self.rob.tail_sentinel
-        while node is not tail:
-            if node.pc in candidates:
+        next_col = pool.next
+        pc_col = pool.pc
+        node = next_col[branch]
+        while node != TAIL:
+            if pc_col[node] in candidates:
                 return node
             if node in gap_markers:
                 return None
-            node = node.next
+            node = next_col[node]
         return None
 
-    def _classify_misprediction(self, branch: DynInstr) -> bool:
+    def _classify_misprediction(self, branch: int) -> bool:
         """Record true/false misprediction stats; returns False-ness."""
+        pool = self.pool
         entry = self._golden_entry_for(branch)
-        false_mp = entry is not None and entry.next_pc == branch.current_next_pc
+        false_mp = entry is not None and entry.next_pc == pool.current_next_pc[branch]
         if false_mp:
             self.stats.false_mispredictions += 1
         else:
             self.stats.true_mispredictions += 1
         for collector in self.tfr_collectors:
-            collector.record(branch.pc, branch.history_used, false_mp)
+            collector.record(pool.pc[branch], pool.history_used[branch], false_mp)
         return false_mp
 
-    def _recover(self, branch: DynInstr) -> None:
+    def _recover(self, branch: int) -> None:
         """The branch's computed outcome contradicts the fetched path."""
         self.stats.recoveries += 1
         self._any_recovered = True
         self._classify_misprediction(branch)
         reconv = self._find_reconvergent(branch)
+        pool = self.pool
 
         if reconv is None:
             self.stats.full_squashes += 1
@@ -92,11 +115,12 @@ class RecoveryStage:
         # Preemption of an active restart (Appendix A.1).
         if self.contexts and self.config.preemption is Preemption.SIMPLE:
             current = self._active_context()
-            if current.branch is not branch and current.phase == "restart":
+            if current.branch != branch and current.phase == "restart":
                 self.stats.preemptions += 1
+                orders = pool.order
                 subsumed = (
-                    branch.order < current.branch.order
-                    and reconv.order >= current.branch.order
+                    orders[branch] < orders[current.branch]
+                    and orders[reconv] >= orders[current.branch]
                 )
                 if not subsumed:
                     # CASES 1 and 3: preempt the active restart by squashing
@@ -104,7 +128,7 @@ class RecoveryStage:
                     # path becomes the window tail and plain fetch resumes
                     # it (the simple sequencer remembers only one restart).
                     self._preempt_simple(current)
-                    if not branch.alive:
+                    if pool.state[branch] & ST_DEAD:
                         return  # the new misprediction was squashed with the tail
                 # CASE 2 (subsumed): the new recovery's own squash region
                 # covers the current restart; nothing special to do.
@@ -114,9 +138,10 @@ class RecoveryStage:
 
         # Selectively squash the incorrect control-dependent region.
         removed = 0
-        node = reconv.prev
-        while node is not branch:
-            prev = node.prev
+        prev_col = pool.prev
+        node = prev_col[reconv]
+        while node != branch:
+            prev = prev_col[node]
             self._squash_node(node)
             removed += 1
             node = prev
@@ -124,21 +149,26 @@ class RecoveryStage:
 
         # Table 2/3 bookkeeping over the preserved CI region (direct link
         # traversal: this runs once per reconverged recovery over up to a
-        # window's worth of nodes).
+        # window's worth of slots).
         preserved = 0
+        state = pool.state
+        issue_count = pool.issue_count
+        next_col = pool.next
         ci = reconv
-        tail = self.rob.tail_sentinel
-        while ci is not tail:
+        while ci != TAIL:
             preserved += 1
-            ci.fetched_under_mp = True
-            ci.issued_under_mp = ci.issue_count > 0
-            ci.reissued_after_mp = False
-            ci = ci.next
+            s = state[ci] | ST_FETCHED_MP
+            if issue_count[ci] > 0:
+                s |= ST_ISSUED_MP
+            else:
+                s &= ~ST_ISSUED_MP
+            state[ci] = s & ~ST_REISSUED_MP
+            ci = next_col[ci]
         self.stats.ci_instructions_preserved += preserved
 
         # Build the restart context.
         ctx = _Context(
-            fetch_pc=branch.outcome_next_pc,
+            fetch_pc=pool.outcome_next_pc[branch],
             ghr=self._history_after(branch),
             rmap=self._map_after(branch),
         )
@@ -147,61 +177,68 @@ class RecoveryStage:
         ctx.insert_point = branch
         ctx.phase = "restart"
         ctx.start_cycle = self.cycle
-        branch.current_taken = branch.outcome_taken
-        branch.current_next_pc = branch.outcome_next_pc
-        branch.recovering = True
-        if branch.instr.f_branch:
-            self.frontend.ras.restore(branch.ras_snapshot)
+        pool.current_taken[branch] = pool.outcome_taken[branch]
+        pool.current_next_pc[branch] = pool.outcome_next_pc[branch]
+        pool.state[branch] |= ST_RECOVERING
+        if pool.instr[branch].f_branch:
+            self.frontend.ras.restore(pool.ras_snapshot[branch])
         # Prune contexts invalidated by the squash (including any stale
         # context for this same branch), then activate the new one.
-        self.contexts = [c for c in self.contexts if c.branch is not branch]
+        self.contexts = [c for c in self.contexts if c.branch != branch]
         self._prune_contexts()
         self.contexts.append(ctx)
 
-    def _history_up_to(self, ctx: _Context, stop: DynInstr, inclusive: bool) -> int:
+    def _history_up_to(self, ctx: _Context, stop: int, inclusive: bool) -> int:
         """Reconstruct the global history at ``stop`` from the recovered
         branch's (possibly walk-corrected) fetch history plus the current
         directions of every live branch in between."""
         ghr = self._history_after(ctx.branch)
-        if stop is ctx.branch:
+        if stop == ctx.branch:
             return ghr
-        node = ctx.branch.next
-        tail = self.rob.tail_sentinel
+        pool = self.pool
+        next_col = pool.next
+        state = pool.state
+        instr_col = pool.instr
+        taken_col = pool.current_taken
         push = self.frontend.push_history
-        while node is not tail:
-            if not inclusive and node is stop:
+        node = next_col[ctx.branch]
+        while node != TAIL:
+            if not inclusive and node == stop:
                 break
-            if node.alive and node.instr.f_branch:
-                ghr = push(ghr, node.current_taken)
-            if inclusive and node is stop:
+            if not state[node] & ST_DEAD and instr_col[node].f_branch:
+                ghr = push(ghr, taken_col[node])
+            if inclusive and node == stop:
                 break
-            node = node.next
+            node = next_col[node]
         return ghr
 
     def _preempt_simple(self, current: _Context) -> None:
         """Simple preemption: abandon the active restart, squashing from
         its reconvergent point on (paper A.1.1 CASE 3)."""
-        if current.reconv is not None and current.reconv.alive:
-            self._squash_after(current.reconv.prev)
+        pool = self.pool
+        if current.reconv is not None and pool.is_alive(current.reconv):
+            self._squash_after(pool.prev[current.reconv])
         self.frontier.fetch_pc = current.fetch_pc
         self.frontier.ghr = current.ghr
         tail = self.rob.tail
-        self.frontier.rmap = self._map_after(
-            tail if tail is not None else self.rob.head_sentinel
-        )
+        self.frontier.rmap = self._map_after(tail if tail is not None else HEAD)
         self.frontier.segment = None
         self.frontier.stalled = current.stalled
+        state = pool.state
         for ctx in self.contexts:
-            if ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
+            if ctx.branch is not None and not state[ctx.branch] & ST_DEAD:
+                state[ctx.branch] &= ~ST_RECOVERING
         self.contexts.clear()
 
-    def _history_after(self, branch: DynInstr) -> int:
-        if branch.instr.f_branch:
-            return self.frontend.push_history(branch.history_used, branch.outcome_taken)
-        return branch.history_used
+    def _history_after(self, branch: int) -> int:
+        pool = self.pool
+        if pool.instr[branch].f_branch:
+            return self.frontend.push_history(
+                pool.history_used[branch], pool.outcome_taken[branch]
+            )
+        return pool.history_used[branch]
 
-    def _map_after(self, anchor: DynInstr) -> list:
+    def _map_after(self, anchor: int) -> list:
         """Rename map just after ``anchor`` executes, rebuilt forward from
         the commit-side map over the live window contents.  Immune to any
         amount of prior insertion, removal and redispatch.
@@ -210,71 +247,89 @@ class RecoveryStage:
         and the sequencer's reactivation immediately rebuilds it for the
         same anchor, so repeated walks within one epoch are one dict hit.
         Callers mutate the returned map, so each call hands out a copy."""
+        pool = self.pool
         if self._map_cache_epoch != self._map_epoch:
             self._map_cache.clear()
             self._map_cache_epoch = self._map_epoch
-        snap = self._map_cache.get(anchor.uid)
+        key = pool.uid[anchor]
+        snap = self._map_cache.get(key)
         if snap is None:
             snap = list(self.retired_map)
-            node = self.rob.head_sentinel.next
-            tail = self.rob.tail_sentinel
-            while node is not tail:
-                if node.dest_arch is not None:
-                    snap[node.dest_arch] = node.dest_tag
-                if node is anchor:
+            next_col = pool.next
+            dest_arch = pool.dest_arch
+            dest_tag = pool.dest_tag
+            node = next_col[HEAD]
+            while node != TAIL:
+                arch = dest_arch[node]
+                if arch is not None:
+                    snap[arch] = dest_tag[node]
+                if node == anchor:
                     break
-                node = node.next
-            self._map_cache[anchor.uid] = snap
+                node = next_col[node]
+            self._map_cache[key] = snap
         return list(snap)
 
-    def _full_squash(self, branch: DynInstr) -> None:
+    def _full_squash(self, branch: int) -> None:
+        pool = self.pool
         rmap = self._map_after(branch)
+        prev_col = pool.prev
         node = self.rob.tail
-        while node is not None and node is not branch:
-            prev = node.prev
+        while node is not None and node != branch:
+            prev = prev_col[node]
             self._squash_node(node)
             node = prev
-            if node is self.rob.head_sentinel:
+            if node == HEAD:
                 break
-        branch.current_taken = branch.outcome_taken
-        branch.current_next_pc = branch.outcome_next_pc
+        pool.current_taken[branch] = pool.outcome_taken[branch]
+        pool.current_next_pc[branch] = pool.outcome_next_pc[branch]
         self.frontier.rmap = rmap
-        self.frontier.fetch_pc = branch.outcome_next_pc
+        self.frontier.fetch_pc = pool.outcome_next_pc[branch]
         self.frontier.ghr = self._history_after(branch)
         self.frontier.segment = None
         self.frontier.stalled = False
-        if branch.ras_snapshot is not None:
-            self.frontend.ras.restore(branch.ras_snapshot)
+        if pool.ras_snapshot[branch] is not None:
+            self.frontend.ras.restore(pool.ras_snapshot[branch])
         self._prune_contexts()
 
-    def _squash_after(self, last_kept: DynInstr) -> None:
+    def _squash_after(self, last_kept: int) -> None:
         """Squash every instruction after ``last_kept`` (tail-first)."""
+        prev_col = self.pool.prev
         node = self.rob.tail
-        while node is not None and node is not last_kept:
-            prev = node.prev
+        while node is not None and node != last_kept:
+            prev = prev_col[node]
             self._squash_node(node)
             node = prev
-            if node is self.rob.head_sentinel:
+            if node == HEAD:
                 break
 
-    def _squash_node(self, node: DynInstr) -> None:
+    def _squash_node(self, h: int) -> None:
         self._needs_remap = True  # captured maps may now reference the dead
         self._map_epoch += 1
-        node.squashed = True
-        instr = node.instr
-        self.rob.remove(node)
+        pool = self.pool
+        pool.state[h] |= ST_SQUASHED
+        instr = pool.instr[h]
+        # Advance any suspended redispatch walk parked on this slot
+        # *before* the unlink recycles it — the cursor must stay a live
+        # handle (or TAIL); historically dead nodes kept their links and
+        # the walk skipped them lazily, which a recycling pool cannot do.
+        if self.contexts:
+            nxt = pool.next[h]
+            for ctx in self.contexts:
+                if ctx.phase == "redispatch" and ctx.walk_cursor == h:
+                    ctx.walk_cursor = nxt
+        self.rob.remove(h)
         if instr.f_mem:
             # Drop from the LSQ first so the squashed store itself is out
             # of the scan when affected loads are collected.
-            self.lsq.drop(node)
-            if instr.f_store and node.completed:
-                for load in self.lsq.loads_affected_by(node, {node.addr}):
+            self.lsq.drop(h)
+            if instr.f_store and pool.state[h] & ST_COMPLETED:
+                for load in self.lsq.loads_affected_by(h, {pool.addr[h]}):
                     self.stats.reissues_memory += 1
                     self._wake(load, self.cycle + 1)
         elif (instr.f_branch or instr.f_indirect) and (
-            self._incomplete_branches.pop(node.uid, None) is not None
+            self._incomplete_branches.pop(pool.uid[h], None) is not None
         ):
-            if self._oldest_gate is node:
+            if self._oldest_gate == h:
                 self._oldest_gate_valid = False
 
     def _prune_contexts(self) -> None:
@@ -285,122 +340,132 @@ class RecoveryStage:
         nested recovery's own context (or the redirected frontier)
         subsumes the remaining gap, because the squashed branch lay on
         this context's correct control-dependent path."""
+        pool = self.pool
+        state = pool.state
         kept = []
         for ctx in self.contexts:
-            if ctx.branch is not None and not ctx.branch.alive:
+            if ctx.branch is not None and state[ctx.branch] & ST_DEAD:
                 continue
             if ctx.phase == "restart" and ctx.insert_point is not None and not (
-                ctx.insert_point.alive or ctx.insert_point is ctx.branch
+                not state[ctx.insert_point] & ST_DEAD
+                or ctx.insert_point == ctx.branch
             ):
                 continue
-            if ctx.reconv is not None and not ctx.reconv.alive:
+            if ctx.reconv is not None and state[ctx.reconv] & ST_DEAD:
                 # Reconvergent point squashed: the context degenerates to
                 # plain tail fetch once it reaches the top of the stack.
                 ctx.reconv = None
             kept.append(ctx)
         for ctx in self.contexts:
-            if ctx not in kept and ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
+            if ctx not in kept and ctx.branch is not None and not (
+                state[ctx.branch] & ST_DEAD
+            ):
+                state[ctx.branch] &= ~ST_RECOVERING
         self.contexts = kept
 
     # ==================================================================
     # redispatch walk (Appendix A.3)
 
     def _redispatch_walk(self, ctx: _Context, instant: bool = False) -> None:
-        """Walk the CI region: remap sources, re-predict branches."""
+        """Walk the CI region: remap sources, re-predict branches.
+
+        The cursor is always live (or TAIL): squash repairs it eagerly,
+        so the walk never meets a dead slot."""
         budget = self.rob.window_size if instant else self.config.width
         rmap = ctx.rmap
+        next_col = self.pool.next
         node = ctx.walk_cursor
-        tail = self.rob.tail_sentinel
-        while node is not tail and budget > 0:
-            if not node.alive:
-                node = node.next
-                continue
+        while node != TAIL and budget > 0:
             overturned = self._redispatch_node(ctx, node, rmap)
             budget -= 1
             if overturned:
                 return  # context finished inside the overturn handler
-            node = node.next
-        if node is tail:
+            node = next_col[node]
+        if node == TAIL:
             self._finish_redispatch(ctx)
         else:
             ctx.walk_cursor = node
 
-    def _redispatch_node(self, ctx: _Context, node: DynInstr, rmap: list) -> bool:
-        instr = node.instr
+    def _redispatch_node(self, ctx: _Context, h: int, rmap: list) -> bool:
+        pool = self.pool
+        instr = pool.instr[h]
         repaired = False
         if instr.reads_rs1:
             tag = rmap[instr.rs1]
-            if tag is not node.src1_tag:
-                node.src1_tag = tag
-                tag.consumers.append(node)
+            if tag is not pool.src1_tag[h]:
+                pool.src1_tag[h] = tag
+                tag.consumers.append(pool.ref[h])
                 repaired = True
         if instr.reads_rs2:
             tag = rmap[instr.rs2]
-            if tag is not node.src2_tag:
-                node.src2_tag = tag
-                tag.consumers.append(node)
+            if tag is not pool.src2_tag[h]:
+                pool.src2_tag[h] = tag
+                tag.consumers.append(pool.ref[h])
                 repaired = True
         if repaired:
             self.stats.ci_rename_repairs += 1
-            if node.issue_count > 0:
+            if pool.issue_count[h] > 0:
                 self.stats.reissues_register += 1
-            self._wake(node, self.cycle + 1)
-        if node.dest_arch is not None:
-            rmap[node.dest_arch] = node.dest_tag
+            self._wake(h, self.cycle + 1)
+        if pool.dest_arch[h] is not None:
+            rmap[pool.dest_arch[h]] = pool.dest_tag[h]
 
         # RAS replay so the frontier stack is exact after the walk.
         if instr.f_call:
-            self.frontend.ras.push(node.pc + 1)
+            self.frontend.ras.push(pool.pc[h] + 1)
         elif instr.f_return:
             self.frontend.ras.pop()
 
         if instr.f_branch:
-            return self._repredict(ctx, node)
+            return self._repredict(ctx, h)
         return False
 
-    def _repredict(self, ctx: _Context, node: DynInstr) -> bool:
+    def _repredict(self, ctx: _Context, h: int) -> bool:
         """Re-predict one CI branch during redispatch (Appendix A.3.2).
 
         Returns True when the prediction was overturned (everything after
         the branch is squashed and fetch redirects)."""
+        pool = self.pool
         mode = self.config.repredict_mode
-        direction = node.current_taken
+        direction = pool.current_taken[h]
         if mode is RepredictMode.NONE:
             pass
-        elif node.completed:
-            direction = node.outcome_taken  # force the predictor
+        elif pool.state[h] & ST_COMPLETED:
+            direction = pool.outcome_taken[h]  # force the predictor
         elif mode is RepredictMode.ORACLE:
-            entry = self._golden_entry_for(node)
+            entry = self._golden_entry_for(h)
             if entry is not None:
                 direction = entry.taken
         else:
-            direction = self.frontend.gshare.predict(node.pc, ctx.ghr)
-        node.history_used = ctx.ghr
-        if direction != node.current_taken:
+            direction = self.frontend.gshare.predict(pool.pc[h], ctx.ghr)
+        pool.history_used[h] = ctx.ghr
+        if direction != pool.current_taken[h]:
             self.stats.repredict_events += 1
-            entry = self._golden_entry_for(node)
-            if entry is not None and entry.taken == node.current_taken:
+            entry = self._golden_entry_for(h)
+            if entry is not None and entry.taken == pool.current_taken[h]:
                 self.stats.repredict_overturned_correct += 1
-            self._overturn(ctx, node, direction)
+            self._overturn(ctx, h, direction)
             return True
         ctx.ghr = self.frontend.push_history(ctx.ghr, direction)
         return False
 
-    def _overturn(self, ctx: _Context, node: DynInstr, direction: bool) -> None:
+    def _overturn(self, ctx: _Context, h: int, direction: bool) -> None:
         """A re-prediction changed a CI branch's direction: squash after it
         and resume plain fetch down the new path."""
-        self._squash_after(node)
-        node.current_taken = direction
-        node.current_next_pc = node.instr.target if direction else node.pc + 1
-        node.predicted_taken = direction
-        self.frontier.fetch_pc = node.current_next_pc
+        self._squash_after(h)
+        pool = self.pool
+        pool.current_taken[h] = direction
+        pool.current_next_pc[h] = (
+            pool.instr[h].target if direction else pool.pc[h] + 1
+        )
+        pool.predicted_taken[h] = direction
+        self.frontier.fetch_pc = pool.current_next_pc[h]
         self.frontier.ghr = self.frontend.push_history(ctx.ghr, direction)
         self.frontier.rmap = ctx.rmap
         self.frontier.segment = None
         self.frontier.stalled = False
         if ctx.branch is not None:
-            ctx.branch.recovering = False
+            pool.state[ctx.branch] &= ~ST_RECOVERING
         if ctx in self.contexts:
             self.contexts.remove(ctx)
         self._prune_contexts()
@@ -411,7 +476,7 @@ class RecoveryStage:
 
     def _finish_redispatch(self, ctx: _Context) -> None:
         if ctx.branch is not None:
-            ctx.branch.recovering = False
+            self.pool.state[ctx.branch] &= ~ST_RECOVERING
         self.frontier.rmap = ctx.rmap
         self.frontier.ghr = ctx.ghr
         self.frontier.segment = None

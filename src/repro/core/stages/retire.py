@@ -6,13 +6,29 @@ with a machine snapshot), not a statistic.  The predictor trains at
 retirement (delayed update, Sec 4.1), Table 3's work-saved classes are
 counted here, and a commit-time next-PC check repairs mis-spliced
 heuristic reconvergences by flushing younger state.
+
+The retire gate is one masked compare on the pool's state column:
+``state & ST_RETIRE_GATE == ST_COMPLETED`` holds exactly when the head
+is completed and neither in the ready heap, in flight, nor anchoring an
+active recovery.
 """
 
 from __future__ import annotations
 
 from ...errors import CosimulationError
 from ...isa import Op
-from ..rob import DynInstr
+from ..soa import (
+    HEAD,
+    TAIL,
+    ST_COMPLETED,
+    ST_DEAD,
+    ST_FETCHED_MP,
+    ST_ISSUED_MP,
+    ST_RECOVERING,
+    ST_REISSUED_MP,
+    ST_RETIRED,
+    ST_RETIRE_GATE,
+)
 
 
 class RetireStage:
@@ -26,128 +42,139 @@ class RetireStage:
         rob = self.rob
         stats = self.stats
         lsq = self.lsq
-        head_sentinel = rob.head_sentinel
-        tail = rob.tail_sentinel
+        pool = self.pool
+        state = pool.state
+        next_col = pool.next
+        pc_col = pool.pc
         while budget > 0:
-            node = head_sentinel.next
-            if node is tail:
+            h = next_col[HEAD]
+            if h == TAIL:
                 break
-            if not node.completed or node.in_ready or node.inflight or node.recovering:
+            if state[h] & ST_RETIRE_GATE != ST_COMPLETED:
                 break
+            instr = pool.instr[h]
+            pc = pc_col[h]
             # Commit-time sequence check (real pipelines verify next-PC at
             # retirement): if the window successor does not continue this
             # instruction's committed path — possible after a mis-spliced
             # heuristic reconvergence — flush younger state and refetch.
             expected_next = (
-                node.current_next_pc if node.instr.f_control else node.pc + 1
+                pool.current_next_pc[h] if instr.f_control else pc + 1
             )
-            succ = node.next
-            if succ is not tail and succ.pc != expected_next:
-                self._sequence_repair(node, expected_next)
+            succ = next_col[h]
+            if succ != TAIL and pc_col[succ] != expected_next:
+                self._sequence_repair(h, expected_next)
             entry = golden[self.retired_count] if self.retired_count < n_golden else None
-            if entry is None or entry.pc != node.pc:
+            if entry is None or entry.pc != pc:
                 raise CosimulationError(
-                    f"retired pc {node.pc} but golden expects "
+                    f"retired pc {pc} but golden expects "
                     f"{entry.pc if entry else 'END'} at index {self.retired_count}",
                     snapshot=self.snapshot(),
                 )
-            self._check_and_commit(node, entry)
-            if node.dest_arch is not None:
-                self.retired_map[node.dest_arch] = node.dest_tag
-            stats.issues_of_retired += node.issue_count
-            node.retired = True
+            self._check_and_commit(h, entry)
+            if pool.dest_arch[h] is not None:
+                self.retired_map[pool.dest_arch[h]] = pool.dest_tag[h]
+            stats.issues_of_retired += pool.issue_count[h]
+            state[h] |= ST_RETIRED
             retired_any = True
             self._map_epoch += 1
-            if node.instr.f_mem:
-                lsq.drop(node)
-            rob.retire(node)
+            if instr.f_mem:
+                lsq.drop(h)
+            rob.remove(h)
             self.retired_count += 1
             stats.retired += 1
             budget -= 1
-            if node.instr.op is Op.HALT:
+            if instr.op is Op.HALT:
                 self.halted = True
                 break
         if retired_any:
             stats.stage_retire_cycles += 1
 
-    def _check_and_commit(self, node: DynInstr, entry) -> None:
-        instr = node.instr
+    def _check_and_commit(self, h: int, entry) -> None:
+        pool = self.pool
+        instr = pool.instr[h]
+        pc = pool.pc[h]
         if instr.f_store:
-            if node.addr != entry.addr or node.store_value != entry.store_value:
+            if pool.addr[h] != entry.addr or pool.store_value[h] != entry.store_value:
                 raise CosimulationError(
-                    f"store at pc {node.pc}: simulated {node.addr}={node.store_value}, "
+                    f"store at pc {pc}: simulated "
+                    f"{pool.addr[h]}={pool.store_value[h]}, "
                     f"golden {entry.addr}={entry.store_value}",
                     snapshot=self.snapshot(),
                 )
-            self.committed_mem[node.addr] = node.store_value
-        elif node.dest_tag is not None:
-            if node.value != entry.value:
+            self.committed_mem[pool.addr[h]] = pool.store_value[h]
+        elif pool.dest_tag[h] is not None:
+            if pool.value[h] != entry.value:
                 raise CosimulationError(
-                    f"pc {node.pc} ({instr.op.name}): simulated value {node.value}, "
-                    f"golden {entry.value}",
+                    f"pc {pc} ({instr.op.name}): simulated value "
+                    f"{pool.value[h]}, golden {entry.value}",
                     snapshot=self.snapshot(),
                 )
         if instr.f_control:
-            if node.current_next_pc != entry.next_pc:
+            if pool.current_next_pc[h] != entry.next_pc:
                 raise CosimulationError(
-                    f"control at pc {node.pc}: retiring down {node.current_next_pc}, "
-                    f"golden goes to {entry.next_pc}",
+                    f"control at pc {pc}: retiring down "
+                    f"{pool.current_next_pc[h]}, golden goes to {entry.next_pc}",
                     snapshot=self.snapshot(),
                 )
             # Train the predictor at retirement (delayed update, Sec 4.1).
             self.frontend.update(
-                instr, node.pc, self.retire_ghr, entry.taken, entry.next_pc
+                instr, pc, self.retire_ghr, entry.taken, entry.next_pc
             )
             if instr.f_branch or (instr.f_indirect and not instr.f_return):
                 self.stats.branch_events += 1
-                if node.predicted_next_pc != entry.next_pc:
+                if pool.predicted_next_pc[h] != entry.next_pc:
                     self.stats.branch_mispredictions_retired += 1
             if instr.f_branch:
                 self.retire_ghr = self.frontend.push_history(
                     self.retire_ghr, entry.taken
                 )
         # Table 3 classification.
-        if node.fetched_under_mp:
+        s = pool.state[h]
+        if s & ST_FETCHED_MP:
             self.stats.retired_fetch_saved += 1
-            if node.issued_under_mp and not node.reissued_after_mp:
+            if s & ST_ISSUED_MP and not s & ST_REISSUED_MP:
                 self.stats.retired_work_saved += 1
-            elif node.issued_under_mp:
+            elif s & ST_ISSUED_MP:
                 self.stats.retired_work_discarded += 1
             else:
                 self.stats.retired_only_fetched += 1
 
-    def _sequence_repair(self, node: DynInstr, expected_next: int) -> None:
+    def _sequence_repair(self, h: int, expected_next: int) -> None:
         """Flush everything younger than the retiring instruction and
         refetch from its committed successor."""
+        pool = self.pool
         if self.config.strict_commit:
-            succ = node.next
+            succ = pool.next[h]
             raise CosimulationError(
-                f"commit-time next-PC check failed at pc {node.pc}: committed "
+                f"commit-time next-PC check failed at pc {pool.pc[h]}: committed "
                 f"path continues at {expected_next} but the window holds pc "
-                f"{succ.pc if succ is not self.rob.tail_sentinel else 'END'} — "
+                f"{pool.pc[succ] if succ != TAIL else 'END'} — "
                 "mis-spliced reconvergence under exact post-dominator info",
                 snapshot=self.snapshot(),
             )
         self.stats.sequence_repairs += 1
-        self._squash_after(node)
+        self._squash_after(h)
+        state = pool.state
         for ctx in self.contexts:
-            if ctx.branch is not None and ctx.branch.alive:
-                ctx.branch.recovering = False
+            if ctx.branch is not None and not state[ctx.branch] & ST_DEAD:
+                state[ctx.branch] &= ~ST_RECOVERING
         self.contexts.clear()
-        node.recovering = False
+        state[h] &= ~ST_RECOVERING
         self.frontier.fetch_pc = expected_next
         ghr = self.retire_ghr
-        if node.instr.f_branch:
-            ghr = self.frontend.push_history(ghr, node.outcome_taken)
+        instr = pool.instr[h]
+        if instr.f_branch:
+            ghr = self.frontend.push_history(ghr, pool.outcome_taken[h])
         self.frontier.ghr = ghr
-        self.frontier.rmap = self._map_after(node)
+        self.frontier.rmap = self._map_after(h)
         self.frontier.segment = None
         self.frontier.stalled = False
-        if node.ras_snapshot is not None:
-            self.frontend.ras.restore(node.ras_snapshot)
-            if node.instr.f_call:
-                self.frontend.ras.push(node.pc + 1)
-            elif node.instr.f_return:
+        if pool.ras_snapshot[h] is not None:
+            self.frontend.ras.restore(pool.ras_snapshot[h])
+            if instr.f_call:
+                self.frontend.ras.push(pool.pc[h] + 1)
+            elif instr.f_return:
                 self.frontend.ras.pop()
 
 

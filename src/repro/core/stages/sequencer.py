@@ -3,9 +3,14 @@
 The sequencer owns the machine's notion of "where fetch goes next": the
 frontier context during normal operation, and a stack of restart /
 redispatch contexts while mispredictions are being serviced (paper
-Sections 3.2, 4.1; Appendix A.1).  Dispatch renames through the active
-context's map and inserts into the reorder buffer either at the tail
-(frontier) or into a restart gap.
+Sections 3.2, 4.1; Appendix A.1).  Dispatch allocates a pool slot,
+renames through the active context's map and links the slot into the
+reorder buffer either at the tail (frontier) or into a restart gap.
+Context fields that name instructions (``branch``, ``reconv``,
+``insert_point``, ``walk_cursor``) hold pool handles that are always
+live or None: every squash path prunes/repairs contexts before the next
+allocation can recycle a slot (the redispatch walk cursor is advanced
+eagerly at squash time — see ``RecoveryStage._squash_node``).
 """
 
 from __future__ import annotations
@@ -14,7 +19,8 @@ from heapq import heappush
 
 from ...isa import Op
 from ..regfile import PhysReg
-from ..rob import DynInstr, Segment
+from ..rob import Segment
+from ..soa import ST_IN_READY
 
 
 class _Context:
@@ -37,16 +43,16 @@ class _Context:
     )
 
     def __init__(self, fetch_pc: int, ghr: int, rmap: list):
-        self.branch: DynInstr | None = None
-        self.reconv: DynInstr | None = None
-        self.insert_point: DynInstr | None = None
+        self.branch: int | None = None
+        self.reconv: int | None = None
+        self.insert_point: int | None = None
         self.fetch_pc = fetch_pc
         self.ghr = ghr
         self.rmap = rmap
         self.segment: Segment | None = None
         self.stalled = False
         self.phase = "frontier"
-        self.walk_cursor: DynInstr | None = None
+        self.walk_cursor: int | None = None
         self.walk_ras: list[int] | None = None
         self.start_cycle = 0
         self.inserted = 0
@@ -58,9 +64,10 @@ class SequencerStage:
     # ==================================================================
     # dispatch
 
-    def _dispatch(self, ctx: _Context, pc: int) -> DynInstr | None:
-        """Fetch + rename one instruction into ``ctx``; returns the node,
-        or None when fetch must stall (HALT reached / out of range)."""
+    def _dispatch(self, ctx: _Context, pc: int) -> int | None:
+        """Fetch + rename one instruction into ``ctx``; returns the pool
+        handle, or None when fetch must stall (HALT reached / out of
+        range)."""
         # Inlined Program.fetch: one bounds check + list index per
         # dispatched instruction (wrong-path fetch off the end of the
         # program is an implicit HALT).
@@ -69,95 +76,102 @@ class SequencerStage:
         else:
             ctx.stalled = True
             return None
-        node = DynInstr(self.uid_counter, pc, instr)
-        self.uid_counter += 1
+        pool = self.pool
+        uid = self.uid_counter
+        self.uid_counter = uid + 1
         cycle = self.cycle
-        node.dispatch_cycle = cycle
+        h = pool.alloc(uid, pc, instr, cycle)
 
         if ctx.phase == "frontier":
-            ctx.segment = self.rob.append(node, ctx.segment)
+            ctx.segment = self.rob.append(h, ctx.segment)
         else:
-            ctx.segment = self.rob.insert_after(ctx.insert_point, node, ctx.segment)
-            ctx.insert_point = node
+            ctx.segment = self.rob.insert_after(ctx.insert_point, h, ctx.segment)
+            ctx.insert_point = h
             ctx.inserted += 1
         self.stats.fetched += 1
         self._map_epoch += 1
 
         rmap = ctx.rmap
+        node_ref = pool.ref[h]
         t1 = t2 = None
         if instr.reads_rs1:
-            node.src1_tag = t1 = rmap[instr.rs1]
-            t1.consumers.append(node)
+            pool.src1_tag[h] = t1 = rmap[instr.rs1]
+            t1.consumers.append(node_ref)
         if instr.reads_rs2:
-            node.src2_tag = t2 = rmap[instr.rs2]
-            t2.consumers.append(node)
+            pool.src2_tag[h] = t2 = rmap[instr.rs2]
+            t2.consumers.append(node_ref)
         dest = instr.dest_reg
         if dest is not None:
-            node.dest_arch = dest
-            node.prev_tag = rmap[dest]
-            tag = PhysReg(node)
+            pool.dest_arch[h] = dest
+            pool.prev_tag[h] = rmap[dest]
+            tag = PhysReg(node_ref)
             rmap[dest] = tag
-            node.dest_tag = tag
+            pool.dest_tag[h] = tag
 
         if instr.f_mem:
-            self.lsq.add(node)
+            self.lsq.add(h)
 
         if instr.f_control:
-            self._predict_control(ctx, node)
-            ctx.fetch_pc = node.current_next_pc
+            self._predict_control(ctx, h)
+            ctx.fetch_pc = pool.current_next_pc[h]
             if instr.f_branch or instr.f_indirect:
-                self._incomplete_branches[node.uid] = node
+                self._incomplete_branches[uid] = h
                 if self._oldest_gate_valid:
                     oldest = self._oldest_gate
-                    if oldest is None or node.order < oldest.order:
-                        self._oldest_gate = node
+                    orders = pool.order
+                    if oldest is None or orders[h] < orders[oldest]:
+                        self._oldest_gate = h
         else:
             ctx.fetch_pc = pc + 1
             if instr.op is Op.HALT:
                 ctx.stalled = True
 
         # Ready bookkeeping: issue no earlier than fetch + 2 (dispatch
-        # stage); a fresh node is never already in the heap, so the
+        # stage); a fresh slot is never already in the heap, so the
         # _push_ready guard is inlined away.
         if (t1 is None or t1.ready) and (t2 is None or t2.ready):
-            node.in_ready = True
-            heappush(self._ready, (cycle + 2, node.order, node.uid, node))
-        return node
+            pool.state[h] |= ST_IN_READY
+            orders = pool.order
+            uids = pool.uid
+            heappush(self._ready, (cycle + 2, orders[h], uids[h], h))
+        return h
 
-    def _predict_control(self, ctx: _Context, node: DynInstr) -> None:
+    def _predict_control(self, ctx: _Context, h: int) -> None:
         cfg = self.config
         frontend = self.frontend
-        node.ras_snapshot = frontend.ras.snapshot()
+        pool = self.pool
+        pool.ras_snapshot[h] = frontend.ras.snapshot()
         history = ctx.ghr
-        instr = node.instr
+        instr = pool.instr[h]
+        pc = pool.pc[h]
         if instr.f_branch:
             # Conditional-branch fast path: one gshare table read and an
             # in-place history push — the FrontEnd.predict dispatch chain
             # and its Prediction wrapper are pure overhead for the most
             # common control instruction.
             if cfg.oracle_global_history:
-                entry_index = self._golden_index(node)
+                entry_index = self._golden_index(h)
                 if 0 <= entry_index < len(self.golden.history_before):
                     history = self.golden.history_before[entry_index]
-            node.history_used = history
+            pool.history_used[h] = history
             gshare = frontend.gshare
-            taken = gshare.table[(node.pc ^ history) & gshare._index_mask] >= 2
-            next_pc = instr.target if taken else node.pc + 1
-            node.predicted_taken = taken
-            node.predicted_next_pc = next_pc
-            node.current_taken = taken
-            node.current_next_pc = next_pc
+            taken = gshare.table[(pc ^ history) & gshare._index_mask] >= 2
+            next_pc = instr.target if taken else pc + 1
+            pool.predicted_taken[h] = taken
+            pool.predicted_next_pc[h] = next_pc
+            pool.current_taken[h] = taken
+            pool.current_next_pc[h] = next_pc
             ctx.ghr = ((ctx.ghr << 1) | (1 if taken else 0)) & gshare.history.mask
-            if instr.target <= node.pc:
+            if instr.target <= pc:
                 # Backward branch: remember loop top / loop exit targets.
                 self._loop_targets.add(next_pc)
             return
-        node.history_used = history
-        prediction = frontend.predict(instr, node.pc, history)
-        node.predicted_taken = prediction.taken
-        node.predicted_next_pc = prediction.next_pc
-        node.current_taken = prediction.taken
-        node.current_next_pc = prediction.next_pc
+        pool.history_used[h] = history
+        prediction = frontend.predict(instr, pc, history)
+        pool.predicted_taken[h] = prediction.taken
+        pool.predicted_next_pc[h] = prediction.next_pc
+        pool.current_taken[h] = prediction.taken
+        pool.current_next_pc[h] = prediction.next_pc
         if instr.f_return:
             self._return_targets.add(prediction.next_pc)
 
@@ -184,22 +198,22 @@ class SequencerStage:
         map and global-history register, since recoveries serviced in
         between may have squashed, remapped or re-predicted instructions
         its captured state depends on."""
+        from ..soa import TAIL, HEAD
+
         if ctx.phase == "restart":
             ctx.rmap = self._map_after(ctx.insert_point)
             ctx.ghr = self._history_up_to(ctx, ctx.insert_point, inclusive=True)
         elif ctx.phase == "redispatch":
+            # The walk cursor is advanced eagerly whenever its slot is
+            # squashed (see _squash_node), so it is always live or TAIL.
             cursor = ctx.walk_cursor
-            while cursor is not None and not cursor.alive and cursor is not self.rob.tail_sentinel:
-                cursor = cursor.next
-            if cursor is None or cursor is self.rob.tail_sentinel:
-                ctx.walk_cursor = self.rob.tail_sentinel
+            if cursor == TAIL:
+                ctx.walk_cursor = TAIL
                 tail = self.rob.tail
-                ctx.rmap = self._map_after(
-                    tail if tail is not None else self.rob.head_sentinel
-                )
+                ctx.rmap = self._map_after(tail if tail is not None else HEAD)
             else:
                 ctx.walk_cursor = cursor
-                ctx.rmap = self._map_after(cursor.prev)
+                ctx.rmap = self._map_after(self.pool.prev[cursor])
                 ctx.ghr = self._history_up_to(ctx, cursor, inclusive=False)
 
     def _frontier_fetch(self) -> None:
@@ -227,7 +241,8 @@ class SequencerStage:
             self.stats.stage_fetch_cycles += 1
 
     def _restart_fetch(self, ctx: _Context) -> None:
-        if ctx.reconv is not None and not ctx.reconv.alive:
+        pool = self.pool
+        if ctx.reconv is not None and not pool.is_alive(ctx.reconv):
             ctx.reconv = None
         if ctx.reconv is None:
             # The reconvergent point is gone: this restart is simply the
@@ -235,8 +250,9 @@ class SequencerStage:
             self._context_to_frontier(ctx)
             return
         budget = self.config.width
+        pc_col = pool.pc
         while budget > 0:
-            if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
+            if ctx.reconv is not None and ctx.fetch_pc == pc_col[ctx.reconv]:
                 self._finish_restart(ctx)
                 return
             if ctx.stalled:
@@ -250,7 +266,7 @@ class SequencerStage:
                 self._finish_restart(ctx)
                 return
             budget -= 1
-        if ctx.reconv is not None and ctx.fetch_pc == ctx.reconv.pc:
+        if ctx.reconv is not None and ctx.fetch_pc == pc_col[ctx.reconv]:
             self._finish_restart(ctx)
 
     def _squash_youngest_ci(self, ctx: _Context) -> bool:
@@ -263,13 +279,13 @@ class SequencerStage:
         victim = self.rob.tail
         if victim is None:
             return False
-        if victim is ctx.insert_point or victim is ctx.branch:
+        if victim == ctx.insert_point or victim == ctx.branch:
             return False  # would eat the restart being serviced
         self.stats.squashed_ci_for_restart += 1
         # Back the frontier up so the victim is refetched later; GHR, RAS
         # and the rename map are all regenerated by the redispatch walk,
         # which ends exactly at the new tail.
-        self.frontier.fetch_pc = victim.pc
+        self.frontier.fetch_pc = self.pool.pc[victim]
         self.frontier.stalled = False
         self.frontier.segment = None
         self._squash_node(victim)
@@ -279,16 +295,16 @@ class SequencerStage:
         return True
 
     def _context_to_frontier(self, ctx: _Context) -> None:
+        from ..soa import HEAD, ST_RECOVERING
+
         if ctx.branch is not None:
-            ctx.branch.recovering = False
+            self.pool.state[ctx.branch] &= ~ST_RECOVERING
         self.frontier.fetch_pc = ctx.fetch_pc
         self.frontier.ghr = ctx.ghr
         # The context's captured map may reference instructions squashed
         # since it was built; the live window tail is the truth.
         tail = self.rob.tail
-        self.frontier.rmap = self._map_after(
-            tail if tail is not None else self.rob.head_sentinel
-        )
+        self.frontier.rmap = self._map_after(tail if tail is not None else HEAD)
         self.frontier.segment = ctx.segment
         self.frontier.stalled = ctx.stalled
         self.contexts.remove(ctx)
@@ -297,7 +313,7 @@ class SequencerStage:
         self.stats.restart_count += 1
         self.stats.restart_cycles_total += self.cycle - ctx.start_cycle + 1
         self.stats.inserted_cd_instructions += ctx.inserted
-        if ctx.reconv is None or not ctx.reconv.alive:
+        if ctx.reconv is None or not self.pool.is_alive(ctx.reconv):
             self._context_to_frontier(ctx)
             return
         ctx.phase = "redispatch"

@@ -187,6 +187,23 @@ class CosimulationError(DiagnosedError):
     """Retired state diverged from the architectural golden trace."""
 
 
+class PoolExhausted(ReproError):
+    """A preallocated instruction pool ran out of free slots.
+
+    The columnar :class:`~repro.core.soa.InstrPool` is sized to the
+    window plus its two sentinel slots, and every dispatch is gated by
+    the window-capacity check, so this firing inside the simulator means
+    slot recycling broke (a retire/squash that never freed its slot) —
+    it is a structural bug report, not a resource limit.  ``capacity``
+    and ``live`` describe the pool at the moment of exhaustion.
+    """
+
+    def __init__(self, message: str, capacity: int, live: int):
+        self.capacity = capacity
+        self.live = live
+        super().__init__(f"{message} (capacity={capacity}, live={live})")
+
+
 class SanitizerError(DiagnosedError):
     """A machine-invariant check failed: an internal simulator structure
     (ROB links, order index, rename map, broadcast network, LSQ) is
@@ -217,6 +234,7 @@ __all__ = [
     "HarnessError",
     "LintFailure",
     "MachineSnapshot",
+    "PoolExhausted",
     "ReproError",
     "SanitizerError",
     "SimulationHang",

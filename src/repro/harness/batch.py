@@ -13,7 +13,7 @@ SoA backends).
 What batching buys is driver-level, not semantic: one shared loop frame
 amortizes per-run overhead, and the garbage collector is paused for the
 whole batch instead of churning through every machine's allocation
-bursts (each processor allocates a window of ``DynInstr`` nodes up
+bursts (each processor preallocates its columnar ``InstrPool`` up
 front and then mutates in place, so pauses are cheap and collections
 mid-run are pure overhead).
 

@@ -46,6 +46,14 @@ import random
 
 from ..cfg import ReconvergenceTable
 from ..core import CoreConfig, CoreStats, GoldenTrace, Processor
+from ..core.soa import (
+    HEAD,
+    TAIL,
+    ST_COMPLETED,
+    ST_DEAD,
+    ST_INFLIGHT,
+    ST_RECOVERING,
+)
 from ..errors import ReproError
 from ..isa import Program
 
@@ -101,18 +109,21 @@ class RegisterValueFault(FaultInjector):
         self.mask = self.rng.randrange(1, 1 << 16)
 
     def _inject(self, proc: Processor) -> bool:
-        for node in proc.rob.iter_all():
+        pool = proc.pool
+        state = pool.state
+        for h in proc.rob.iter_all():
+            instr = pool.instr[h]
             if (
-                node.completed
-                and not node.retired
-                and node.dest_tag is not None
-                and not node.instr.is_control
-                and not node.instr.is_store
+                state[h] & ST_COMPLETED
+                and not state[h] & ST_DEAD
+                and pool.dest_tag[h] is not None
+                and not instr.is_control
+                and not instr.is_store
             ):
-                node.value ^= self.mask
-                node.dest_tag.value = node.value
+                pool.value[h] ^= self.mask
+                pool.dest_tag[h].value = pool.value[h]
                 self.description = (
-                    f"xor value of pc {node.pc} (uid {node.uid}) "
+                    f"xor value of pc {pool.pc[h]} (uid {pool.uid[h]}) "
                     f"with {self.mask:#x} at cycle {proc.cycle}"
                 )
                 return True
@@ -135,20 +146,23 @@ class PredictorStateFault(FaultInjector):
         table = proc.frontend.gshare.table
         for _ in range(min(64, len(table))):
             table[self.rng.randrange(len(table))] = self.rng.randrange(4)
-        for node in proc.rob.iter_all():
+        pool = proc.pool
+        state = pool.state
+        for h in proc.rob.iter_all():
+            instr = pool.instr[h]
             if (
-                node.instr.is_branch
-                and node.completed
-                and not node.recovering
-                and not node.retired
+                instr.is_branch
+                and state[h] & ST_COMPLETED
+                and not state[h] & (ST_RECOVERING | ST_DEAD)
             ):
-                node.current_taken = not node.current_taken
-                node.current_next_pc = (
-                    node.instr.target if node.current_taken else node.pc + 1
+                taken = not pool.current_taken[h]
+                pool.current_taken[h] = taken
+                pool.current_next_pc[h] = (
+                    instr.target if taken else pool.pc[h] + 1
                 )
                 self.description = (
-                    f"flipped committed path of branch pc {node.pc} "
-                    f"(uid {node.uid}) to {node.current_next_pc} "
+                    f"flipped committed path of branch pc {pool.pc[h]} "
+                    f"(uid {pool.uid[h]}) to {pool.current_next_pc[h]} "
                     f"at cycle {proc.cycle}"
                 )
                 return True
@@ -193,16 +207,17 @@ class ReconvTableFault(FaultInjector):
                 table._reconv_pc[pc] = self.rng.randrange(program_len)
         # Wait (possibly several cycles) for an active restart whose live
         # reconvergent pointer we can corrupt.
+        pool = proc.pool
         for ctx in proc.contexts:
             if ctx.phase == "restart" and ctx.reconv is not None:
                 skipped = ctx.reconv
-                following = skipped.next
-                if following is not proc.rob.tail_sentinel:
+                following = pool.next[skipped]
+                if following != TAIL:
                     ctx.reconv = following
                     self.description = (
                         f"advanced live reconvergent pointer past pc "
-                        f"{skipped.pc} to pc {following.pc} at cycle "
-                        f"{proc.cycle} (plus table rewrite)"
+                        f"{pool.pc[skipped]} to pc {pool.pc[following]} "
+                        f"at cycle {proc.cycle} (plus table rewrite)"
                     )
                     return True
         return False
@@ -241,26 +256,27 @@ class DroppedWakeupFault(FaultInjector):
     def arm(self, processor: Processor) -> None:
         super().arm(processor)
         original = processor._wake
+        pool = processor.pool
 
-        def _wake(node, eligible):
+        def _wake(h, eligible):
             if self.fired:
-                if node.uid == self.victim_uid:
+                if pool.uid[h] == self.victim_uid:
                     self.dropped += 1
                     return
             elif processor.retired_count >= self.trigger_retired and (
-                (node.issue_count > 0) == self.require_issued
+                (pool.issue_count[h] > 0) == self.require_issued
             ):
                 if self._seen == self.drop_index:
                     self.fired = True
-                    self.victim_uid = node.uid
+                    self.victim_uid = pool.uid[h]
                     self.dropped = 1
                     self.description = (
-                        f"dropping wakeups of pc {node.pc} (uid {node.uid}) "
-                        f"from cycle {processor.cycle}"
+                        f"dropping wakeups of pc {pool.pc[h]} "
+                        f"(uid {pool.uid[h]}) from cycle {processor.cycle}"
                     )
                     return
                 self._seen += 1
-            original(node, eligible)
+            original(h, eligible)
 
         # Instance attribute shadows the bound class method for self-calls.
         processor._wake = _wake
@@ -282,16 +298,22 @@ class ROBOrderFault(FaultInjector):
     kind = "rob-order"
 
     def _inject(self, proc: Processor) -> bool:
+        pool = proc.pool
         younger = proc.rob.tail
         if younger is None:
             return False
-        older = younger.prev
-        if older is proc.rob.head_sentinel:
+        older = pool.prev[younger]
+        if older == HEAD:
             return False
-        older.order, younger.order = younger.order, older.order
+        order_col = pool.order
+        order_col[older], order_col[younger] = (
+            order_col[younger],
+            order_col[older],
+        )
         self.description = (
-            f"swapped order keys of pcs {older.pc}/{younger.pc} "
-            f"(uids {older.uid}/{younger.uid}) at cycle {proc.cycle}"
+            f"swapped order keys of pcs {pool.pc[older]}/{pool.pc[younger]} "
+            f"(uids {pool.uid[older]}/{pool.uid[younger]}) "
+            f"at cycle {proc.cycle}"
         )
         return True
 
@@ -363,21 +385,25 @@ class TagAliasFault(FaultInjector):
     kind = "tag-alias"
 
     def _inject(self, proc: Processor) -> bool:
+        pool = proc.pool
+        dest_tag = pool.dest_tag
+        prev_col = pool.prev
         victims = []
         node = proc.rob.tail
-        while node is not None and node is not proc.rob.head_sentinel:
-            if node.dest_tag is not None:
+        while node is not None and node != HEAD:
+            if dest_tag[node] is not None:
                 victims.append(node)
                 if len(victims) == 2:
                     break
-            node = node.prev
+            node = prev_col[node]
         if len(victims) < 2:
             return False
         younger, older = victims
-        younger.dest_tag = older.dest_tag
+        dest_tag[younger] = dest_tag[older]
         self.description = (
-            f"aliased dest tag of pc {younger.pc} (uid {younger.uid}) "
-            f"onto pc {older.pc} (uid {older.uid}) at cycle {proc.cycle}"
+            f"aliased dest tag of pc {pool.pc[younger]} "
+            f"(uid {pool.uid[younger]}) onto pc {pool.pc[older]} "
+            f"(uid {pool.uid[older]}) at cycle {proc.cycle}"
         )
         return True
 
@@ -396,11 +422,16 @@ class LSQDropFault(FaultInjector):
     kind = "lsq-drop"
 
     def _inject(self, proc: Processor) -> bool:
-        for uid, node in proc.lsq._unresolved_stores.items():
-            if not node.completed and not node.inflight and node.issue_count == 0:
+        pool = proc.pool
+        state = pool.state
+        for uid, h in proc.lsq._unresolved_stores.items():
+            if (
+                not state[h] & (ST_COMPLETED | ST_INFLIGHT)
+                and pool.issue_count[h] == 0
+            ):
                 del proc.lsq._unresolved_stores[uid]
                 self.description = (
-                    f"dropped store pc {node.pc} (uid {uid}) from the "
+                    f"dropped store pc {pool.pc[h]} (uid {uid}) from the "
                     f"unresolved subset at cycle {proc.cycle}"
                 )
                 return True

@@ -51,15 +51,26 @@ CORPUS_DIR = Path(__file__).parent / "corpus"
 
 
 class HeapRecorder:
-    """Contract-checking ``heapq`` stand-in plus epoch bookkeeping."""
+    """Contract-checking ``heapq`` stand-in plus epoch bookkeeping.
+
+    Entries are pure int tuples whose payload is a pool handle; the
+    recorder latches the machine's :class:`~repro.core.soa.InstrPool`
+    when the ReorderBuffer is built, and validates captured keys against
+    the pool's live columns.  A popped entry whose captured ``uid`` no
+    longer matches the slot's live ``uid`` is a *dead* entry (the slot
+    was recycled) — the simulator discards it, so key staleness is
+    vacuous there."""
 
     def __init__(self):
         self.pushes = 0
         self.pops = 0
         self.stale_pops = 0
+        self.dead_pops = 0
         self.renumbers = 0
         self.respaces = 0
         self.violations: list[str] = []
+        #: the live machine's instruction pool (set by the install hook)
+        self.pool = None
         #: rewrite-epoch counter; bumped by _renumber/_respace wrappers
         self.epoch = 0
         #: id(entry) -> (epoch at push, entry) — the entry ref keeps the
@@ -71,13 +82,14 @@ class HeapRecorder:
     def heappush(self, heap, entry):
         self.pushes += 1
         key = CONTRACT.key
-        node = entry[-1]
+        pool = self.pool
+        h = entry[-1]
         if len(entry) != len(key.fields):
             self.violations.append(f"push arity {len(entry)} != {len(key.fields)}")
-        elif entry[1] != node.order or entry[2] != node.uid:
+        elif entry[1] != pool.order[h] or entry[2] != pool.uid[h]:
             self.violations.append(
-                f"push key ({entry[1]}, {entry[2]}) != node "
-                f"({node.order}, {node.uid}) at push time"
+                f"push key ({entry[1]}, {entry[2]}) != pool columns "
+                f"({pool.order[h]}, {pool.uid[h]}) at push time"
             )
         self._entry_epoch[id(entry)] = (self.epoch, entry)
         real_heapq.heappush(heap, entry)
@@ -86,12 +98,15 @@ class HeapRecorder:
         entry = real_heapq.heappop(heap)
         self.pops += 1
         pushed_epoch, _ = self._entry_epoch[id(entry)]
-        node = entry[-1]
-        if entry[1] != node.order:
+        pool = self.pool
+        h = entry[-1]
+        if pool.uid[h] != entry[2]:
+            self.dead_pops += 1  # slot recycled: entry is self-invalidated
+        elif entry[1] != pool.order[h]:
             self.stale_pops += 1
             if pushed_epoch == self.epoch:
                 self.violations.append(
-                    f"stale pop (key order {entry[1]}, live {node.order}) "
+                    f"stale pop (key order {entry[1]}, live {pool.order[h]}) "
                     f"with no renumber/respace between push and pop"
                 )
         return entry
@@ -100,8 +115,13 @@ class HeapRecorder:
         monkeypatch.setattr(backend_mod, "heapq", self)
         monkeypatch.setattr(sequencer_mod, "heappush", self.heappush)
         recorder = self
+        orig_init = ReorderBuffer.__init__
         orig_renumber = ReorderBuffer._renumber
         orig_respace = ReorderBuffer._respace
+
+        def init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            recorder.pool = self.pool
 
         def renumber(self):
             recorder.renumbers += 1
@@ -113,6 +133,7 @@ class HeapRecorder:
             recorder.epoch += 1
             return orig_respace(self)
 
+        monkeypatch.setattr(ReorderBuffer, "__init__", init)
         monkeypatch.setattr(ReorderBuffer, "_renumber", renumber)
         monkeypatch.setattr(ReorderBuffer, "_respace", respace)
 

@@ -1,0 +1,215 @@
+"""InstrPool slot lifecycle: free-list recycling, exhaustion, refs.
+
+The columnar pool recycles integer handles through a LIFO free list as
+the ROB unlinks slots at retire/squash.  These tests pin the lifecycle
+contract the core relies on:
+
+* the free list and the linked window partition the real slots at every
+  cycle boundary, even under deep squash/redispatch waves (a leak in
+  either direction eventually deadlocks dispatch or corrupts state);
+* exhaustion raises the structured :class:`repro.errors.PoolExhausted`
+  with capacity/live attributes, never a bare ``IndexError``;
+* uids stay monotonic across recycled slots, and a packed ref held over
+  a recycle self-invalidates (``valid_ref``) instead of aliasing the
+  new tenant;
+* a freed slot keeps its dead state bits until reallocation, so stale
+  handles read as dead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CoreConfig, Processor, ReconvPolicy
+from repro.core.rob import ReorderBuffer
+from repro.core.soa import (
+    HEAD,
+    InstrPool,
+    REF_MASK,
+    ST_DEAD,
+    ST_SQUASHED,
+    TAIL,
+)
+from repro.errors import PoolExhausted
+from repro.harness.experiments import load_bundle
+from repro.isa import Instruction, Op
+
+_NOP = Instruction(Op.NOP)
+
+
+def make_pool(capacity=18, backend="fallback"):
+    return InstrPool(capacity, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# free-list recycling
+
+
+def test_lifo_recycling_reuses_most_recent_slot():
+    pool = make_pool()
+    a = pool.alloc(0, 0, _NOP, 0)
+    b = pool.alloc(1, 1, _NOP, 0)
+    pool.free(a)
+    pool.free(b)
+    # LIFO: the most recently freed slot comes back first (cache-warm)
+    assert pool.alloc(2, 2, _NOP, 0) == b
+    assert pool.alloc(3, 3, _NOP, 0) == a
+
+
+def test_live_tracks_alloc_free_waves():
+    pool = make_pool(34)
+    assert pool.live == 0
+    handles = [pool.alloc(u, u, _NOP, 0) for u in range(32)]
+    assert pool.live == 32
+    for h in handles[10:30]:  # a deep squash wave
+        pool.free(h)
+    assert pool.live == 12
+    redispatched = [pool.alloc(100 + i, 0, _NOP, 1) for i in range(20)]
+    assert pool.live == 32
+    assert set(redispatched) == set(handles[10:30])
+    assert pool.allocated_total == 52
+
+
+def test_boundary_slots_never_enter_the_free_list():
+    pool = make_pool(8)
+    seen = {pool.alloc(u, u, _NOP, 0) for u in range(6)}
+    assert HEAD not in seen and TAIL not in seen
+    assert seen == set(range(2, 8))
+
+
+def test_rob_remove_returns_slot_to_the_pool():
+    rob = ReorderBuffer(16)
+    pool = rob.pool
+    handles = []
+    seg = None
+    for uid in range(16):
+        h = pool.alloc(uid, uid, _NOP, 0)
+        seg = rob.append(h, seg)
+        handles.append(h)
+    assert pool.live == rob.count == 16
+    for h in handles[4:12]:  # squash the middle of the window
+        rob.remove(h)
+    assert pool.live == rob.count == 8
+    # dispatch can refill the window entirely from recycled slots
+    for uid in range(100, 108):
+        rob.append(pool.alloc(uid, uid, _NOP, 1), None)
+    assert pool.live == rob.count == 16
+
+
+# ----------------------------------------------------------------------
+# exhaustion
+
+
+@pytest.mark.parametrize("backend", ("fallback", "numpy"))
+def test_exhaustion_raises_structured_error(backend):
+    try:
+        pool = make_pool(6, backend=backend)
+    except ValueError:
+        pytest.skip("backend unavailable")
+    for uid in range(4):
+        pool.alloc(uid, uid, _NOP, 0)
+    with pytest.raises(PoolExhausted) as err:
+        pool.alloc(4, 4, _NOP, 0)
+    assert not isinstance(err.value, IndexError)
+    assert err.value.capacity == 6
+    assert err.value.live == 4
+    # freeing a slot makes alloc work again
+    pool.free(2)
+    assert pool.alloc(5, 5, _NOP, 0) == 2
+
+
+def test_full_window_never_exhausts_the_pool():
+    """The pool holds window_size + 2 slots, so a full ROB still has a
+    free slot count of zero — but dispatch is gated by ``rob.full``
+    before alloc, so exhaustion is unreachable in a healthy machine."""
+    rob = ReorderBuffer(8)
+    seg = None
+    for uid in range(8):
+        seg = rob.append(rob.pool.alloc(uid, uid, _NOP, 0), seg)
+    assert rob.full
+    assert rob.pool.live == 8
+    assert len(rob.pool._free) == 0
+
+
+# ----------------------------------------------------------------------
+# uid monotonicity + packed refs across recycling
+
+
+def test_uid_and_ref_survive_free_until_realloc():
+    pool = make_pool()
+    h = pool.alloc(7, 3, _NOP, 0)
+    ref = pool.ref[h]
+    pool.state[h] |= ST_SQUASHED
+    pool.free(h)
+    # dead bits and identity survive the free
+    assert pool.uid[h] == 7
+    assert pool.state[h] & ST_DEAD
+    assert pool.valid_ref(ref)  # still addresses the (dead) tenant
+    assert not pool.is_alive(h)
+
+
+def test_recycle_invalidates_stale_refs_and_bumps_uid():
+    pool = make_pool()
+    h = pool.alloc(7, 3, _NOP, 0)
+    stale = pool.ref[h]
+    pool.state[h] |= ST_SQUASHED
+    pool.free(h)
+    h2 = pool.alloc(8, 4, _NOP, 1)
+    assert h2 == h  # recycled slot
+    assert pool.uid[h] == 8
+    assert not pool.valid_ref(stale)  # old ref no longer matches
+    assert pool.valid_ref(pool.ref[h])
+    assert (stale & REF_MASK) == h  # same slot, different tenant
+    assert pool.is_alive(h)  # alloc cleared the dead bits
+
+
+def test_uids_monotonic_across_heavy_recycling():
+    """A machine-shaped churn: uids assigned by the sequencer only grow,
+    even as handles cycle through the free list repeatedly."""
+    pool = make_pool(10)
+    uid = 0
+    seen_per_handle: dict[int, list[int]] = {}
+    live: list[int] = []
+    for wave in range(50):
+        while pool.live < 8:
+            h = pool.alloc(uid, uid, _NOP, wave)
+            seen_per_handle.setdefault(h, []).append(uid)
+            live.append(h)
+            uid += 1
+        for h in live[-4:]:
+            pool.state[h] |= ST_SQUASHED
+            pool.free(h)
+        del live[-4:]
+    for h, uids in seen_per_handle.items():
+        assert uids == sorted(uids), f"handle {h} saw non-monotonic uids"
+    reused = sum(1 for uids in seen_per_handle.values() if len(uids) > 1)
+    assert reused >= 4, "recycling never reused handles"
+
+
+# ----------------------------------------------------------------------
+# machine-level: the window and the free list partition the pool
+
+
+def test_window_and_free_list_partition_under_recovery():
+    """On a real CI cell (selective squash + redispatch waves), every
+    cycle ends with pool.live == rob.count: each linked slot is
+    allocated and each unlinked slot was freed — no leaks, no aliasing."""
+    bundle = load_bundle("go", 0.05)
+    config = CoreConfig(window_size=64, reconv_policy=ReconvPolicy.POSTDOM)
+    checked = 0
+
+    def check(proc):
+        nonlocal checked
+        checked += 1
+        assert proc.pool.live == proc.rob.count, (
+            f"cycle {proc.cycle}: {proc.pool.live} allocated slots vs "
+            f"{proc.rob.count} linked — free list out of sync"
+        )
+
+    processor = Processor(bundle.program, config, bundle.golden, bundle.reconv)
+    processor.add_cycle_hook(check)
+    stats = processor.run()
+    assert checked > 500
+    assert stats.retired == len(bundle.golden)
+    # after HALT retires, the machine drained: the pool must too
+    assert processor.pool.live == processor.rob.count

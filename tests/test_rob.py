@@ -1,25 +1,33 @@
-"""Reorder buffer structure tests: linked list, order keys, order-scheme
-knob resolution, and segments."""
+"""Reorder buffer structure tests: linked window, order keys, order-scheme
+knob resolution, and segments — all over pool handles."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import ORDER_SCHEMES, CoreConfig, ReorderBuffer, resolve_order_scheme
-from repro.core.rob import _SPACING, _V2_TAIL, DynInstr
+from repro.core.rob import _SPACING, _V2_TAIL
+from repro.core.soa import TAIL
 from repro.errors import ConfigError
 from repro.isa import Instruction, Op
 
+_NOP = Instruction(Op.NOP)
 
-def make_node(uid):
-    return DynInstr(uid, uid, Instruction(Op.NOP))
+
+def alloc(rob, uid):
+    """Allocate a pool slot the way dispatch does (pc = uid for tests)."""
+    return rob.pool.alloc(uid, uid, _NOP, 0)
 
 
 def window_uids(rob):
-    return [n.uid for n in rob.iter_all()]
+    return [rob.pool.uid[h] for h in rob.iter_all()]
+
+
+def window_orders(rob):
+    return [rob.pool.order[h] for h in rob.iter_all()]
 
 
 def assert_orders_consistent(rob):
-    orders = [n.order for n in rob.iter_all()]
+    orders = window_orders(rob)
     assert orders == sorted(orders)
     assert len(set(orders)) == len(orders)
     assert list(rob._alive_orders) == orders
@@ -72,20 +80,21 @@ class TestV2Scheme:
         seg = None
         assigned = []
         for uid in range(64):
-            node = make_node(uid)
-            seg = rob.append(node, seg)
-            assigned.append(node.order)
+            h = alloc(rob, uid)
+            seg = rob.append(h, seg)
+            assigned.append(rob.pool.order[h])
         assert assigned == [(i + 1) * _SPACING for i in range(64)]
         # keys were assigned once and never touched again
-        assert [n.order for n in rob.iter_all()] == assigned
-        assert rob.tail_sentinel.order == _V2_TAIL
+        assert window_orders(rob) == assigned
+        assert rob.pool.order[TAIL] == _V2_TAIL
 
     def test_restart_chain_fits_one_gap(self, monkeypatch):
         """A right-chained restart sequence (each instruction inserted
         after the previous one, the sequencer's dispatch pattern) fits
         hundreds of entries in one inter-key gap without a respace."""
         rob = ReorderBuffer(4096, order_scheme="v2")
-        a, b = make_node(0), make_node(1)
+        a = alloc(rob, 0)
+        b = alloc(rob, 1)
         rob.append(a, None)
         rob.append(b, None)
         monkeypatch.setattr(
@@ -94,9 +103,9 @@ class TestV2Scheme:
         )
         anchor = a
         for uid in range(2, 302):
-            node = make_node(uid)
-            rob.insert_after(anchor, node, None)
-            anchor = node
+            h = alloc(rob, uid)
+            rob.insert_after(anchor, h, None)
+            anchor = h
         assert window_uids(rob) == [0, *range(2, 302), 1]
         assert_orders_consistent(rob)
 
@@ -105,28 +114,32 @@ class TestV2Scheme:
         pattern) exhausts gaps; the respace fallback keeps the order
         keys sorted, unique, and mirrored by the index."""
         rob = ReorderBuffer(4096, order_scheme="v2")
-        first = make_node(0)
+        first = alloc(rob, 0)
         rob.append(first, None)
-        rob.append(make_node(1), None)
+        rob.append(alloc(rob, 1), None)
         for uid in range(2, 202):
-            rob.insert_after(first, make_node(uid), None)
+            rob.insert_after(first, alloc(rob, uid), None)
         assert_orders_consistent(rob)
-        assert rob.tail_sentinel.order == _V2_TAIL
+        assert rob.pool.order[TAIL] == _V2_TAIL
         # the tail-append sequence resumes above every live key
-        node = make_node(999)
-        rob.append(node, None)
-        assert node.order > max(n.order for n in rob.iter_all() if n is not node)
+        h = alloc(rob, 999)
+        rob.append(h, None)
+        order_col = rob.pool.order
+        assert order_col[h] > max(
+            order_col[n] for n in rob.iter_all() if n != h
+        )
 
     def test_append_after_remove_stays_monotonic(self):
         rob = ReorderBuffer(16, order_scheme="v2")
-        nodes = [make_node(u) for u in range(8)]
-        for node in nodes:
-            rob.append(node, None)
-        for node in nodes[4:]:
-            rob.remove(node)  # squash the youngest half
-        late = make_node(100)
+        handles = [alloc(rob, u) for u in range(8)]
+        for h in handles:
+            rob.append(h, None)
+        keep_order = rob.pool.order[handles[3]]
+        for h in handles[4:]:
+            rob.remove(h)  # squash the youngest half
+        late = alloc(rob, 100)
         rob.append(late, None)
-        assert late.order > nodes[3].order
+        assert rob.pool.order[late] > keep_order
         assert_orders_consistent(rob)
 
 
@@ -135,43 +148,42 @@ class TestLinkedList:
         rob = ReorderBuffer(16)
         seg = None
         for uid in range(5):
-            seg = rob.append(make_node(uid), seg)
+            seg = rob.append(alloc(rob, uid), seg)
         assert window_uids(rob) == [0, 1, 2, 3, 4]
 
     def test_insert_after_middle(self):
         rob = ReorderBuffer(16)
-        nodes = [make_node(u) for u in range(3)]
+        handles = [alloc(rob, u) for u in range(3)]
         seg = None
-        for node in nodes:
-            seg = rob.append(node, seg)
-        inserted = make_node(99)
-        rob.insert_after(nodes[0], inserted, None)
+        for h in handles:
+            seg = rob.append(h, seg)
+        inserted = alloc(rob, 99)
+        rob.insert_after(handles[0], inserted, None)
         assert window_uids(rob) == [0, 99, 1, 2]
-        assert rob.precedes(nodes[0], inserted)
-        assert rob.precedes(inserted, nodes[1])
+        assert rob.precedes(handles[0], inserted)
+        assert rob.precedes(inserted, handles[1])
 
     def test_remove(self):
         rob = ReorderBuffer(16)
-        nodes = [make_node(u) for u in range(3)]
+        handles = [alloc(rob, u) for u in range(3)]
         seg = None
-        for node in nodes:
-            seg = rob.append(node, seg)
-        rob.remove(nodes[1])
+        for h in handles:
+            seg = rob.append(h, seg)
+        rob.remove(handles[1])
         assert window_uids(rob) == [0, 2]
         assert rob.count == 2
 
     @pytest.mark.parametrize("scheme", ORDER_SCHEMES)
     def test_order_keys_survive_dense_insertion(self, scheme):
         rob = ReorderBuffer(4096, order_scheme=scheme)
-        first = make_node(0)
+        first = alloc(rob, 0)
         rob.append(first, None)
         anchor = first
         for uid in range(1, 200):
-            node = make_node(uid)
-            rob.insert_after(anchor, node, None)  # always right after first
+            rob.insert_after(anchor, alloc(rob, uid), None)  # always right after first
         uids = window_uids(rob)
         assert uids[0] == 0
-        orders = [n.order for n in rob.iter_all()]
+        orders = window_orders(rob)
         assert orders == sorted(orders)
         assert len(set(orders)) == len(orders)
 
@@ -179,25 +191,25 @@ class TestLinkedList:
     @given(st.lists(st.integers(0, 3), min_size=1, max_size=120))
     def test_random_ops_keep_order_consistent(self, scheme, ops):
         rob = ReorderBuffer(4096, order_scheme=scheme)
-        nodes = []
+        live = []  # (uid, handle) pairs mirroring the window
         uid = 0
         for op in ops:
-            if op in (0, 1) or not nodes:
-                node = make_node(uid)
+            if op in (0, 1) or not live:
+                h = alloc(rob, uid)
+                rob.append(h, None)
+                live.append((uid, h))
                 uid += 1
-                rob.append(node, None)
-                nodes.append(node)
             elif op == 2:
-                anchor = nodes[len(nodes) // 2]
-                node = make_node(uid)
+                idx = len(live) // 2
+                anchor = live[idx][1]
+                h = alloc(rob, uid)
+                rob.insert_after(anchor, h, None)
+                live.insert(idx + 1, (uid, h))
                 uid += 1
-                rob.insert_after(anchor, node, None)
-                nodes.insert(nodes.index(anchor) + 1, node)
             else:
-                victim = nodes.pop(len(nodes) // 2)
-                rob.remove(victim)
-        assert window_uids(rob) == [n.uid for n in nodes]
-        orders = [n.order for n in rob.iter_all()]
+                rob.remove(live.pop(len(live) // 2)[1])
+        assert window_uids(rob) == [u for u, _ in live]
+        orders = window_orders(rob)
         assert orders == sorted(orders)
 
 
@@ -206,39 +218,39 @@ class TestSegments:
         rob = ReorderBuffer(4, segment_size=1)
         seg = None
         for uid in range(4):
-            seg = rob.append(make_node(uid), seg)
+            seg = rob.append(alloc(rob, uid), seg)
         assert rob.full
 
     def test_segment_rounds_up(self):
         rob = ReorderBuffer(16, segment_size=4)
-        rob.append(make_node(0), None)  # opens a 4-slot segment
+        rob.append(alloc(rob, 0), None)  # opens a 4-slot segment
         assert rob.slots_used == 4
 
     def test_contiguous_fill_shares_segment(self):
         rob = ReorderBuffer(16, segment_size=4)
         seg = None
         for uid in range(4):
-            seg = rob.append(make_node(uid), seg)
+            seg = rob.append(alloc(rob, uid), seg)
         assert rob.slots_used == 4
 
     def test_fragmentation_from_separate_contexts(self):
         rob = ReorderBuffer(16, segment_size=4)
-        seg_a = rob.append(make_node(0), None)
+        seg_a = rob.append(alloc(rob, 0), None)
         # a restart inserts with its own segment
-        rob.insert_after(rob.head, make_node(1), None)
+        rob.insert_after(rob.head, alloc(rob, 1), None)
         assert rob.slots_used == 8  # two partially-used segments
         assert seg_a.live == 1
 
     def test_segment_freed_when_empty(self):
         rob = ReorderBuffer(16, segment_size=4)
-        nodes = [make_node(u) for u in range(4)]
+        handles = [alloc(rob, u) for u in range(4)]
         seg = None
-        for node in nodes:
-            seg = rob.append(node, seg)
-        for node in nodes[:3]:
-            rob.retire(node)
+        for h in handles:
+            seg = rob.append(h, seg)
+        for h in handles[:3]:
+            rob.retire(h)
         assert rob.slots_used == 4  # last instruction holds the segment
-        rob.retire(nodes[3])
+        rob.retire(handles[3])
         assert rob.slots_used == 0
 
     def test_window_must_divide_by_segment(self):

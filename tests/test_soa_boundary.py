@@ -19,9 +19,13 @@ import pytest
 from repro.core.soa import (
     BACKENDS,
     NUMPY_MIN_CAPACITY,
+    InstrPool,
     OrderIndex,
+    ST_COMPLETED,
+    ST_SQUASHED,
     resolve_backend,
 )
+from repro.isa import Instruction, Op
 
 try:
     import numpy  # noqa: F401
@@ -144,6 +148,74 @@ def test_parity_under_env_overrides(monkeypatch):
         zip(results["fallback"], results["numpy"])
     ):
         assert list(got_a) == list(got_b), f"phase {phase} diverged"
+
+
+# ----------------------------------------------------------------------
+# InstrPool parity across the same boundary
+
+_NOP = Instruction(Op.NOP)
+
+
+def _drive_pool(pool: InstrPool, count: int) -> list:
+    """Deterministic alloc/mutate/free churn; returns state snapshots."""
+    snapshots = []
+    handles = []
+    uid = 0
+    for _ in range(count):
+        h = pool.alloc(uid, uid * 4, _NOP, uid % 17)
+        pool.order[h] = (uid + 1) << 4
+        pool.state[h] = ST_COMPLETED if uid % 3 else 0
+        handles.append(h)
+        uid += 1
+    # squash-and-recycle waves over the middle of the allocation
+    for wave in range(3):
+        victims = handles[len(handles) // 4 : len(handles) // 2 : 2 + wave]
+        for h in victims:
+            pool.state[h] |= ST_SQUASHED
+            pool.free(h)
+        for _ in victims:
+            h = pool.alloc(uid, uid * 4, _NOP, uid % 17)
+            pool.order[h] = (uid + 1) << 4
+            uid += 1
+    snapshots.append([int(v) for v in pool.uid])
+    snapshots.append([int(v) for v in pool.order])
+    snapshots.append([int(v) for v in pool.state])
+    snapshots.append(list(pool.ref))
+    snapshots.append((pool.live, pool.allocated_total, sorted(pool._free)))
+    return snapshots
+
+
+def test_instr_pool_auto_selection_matches_order_index():
+    assert InstrPool(NUMPY_MIN_CAPACITY - 1).backend == "fallback"
+    expected = "numpy" if HAVE_NUMPY else "fallback"
+    assert InstrPool(NUMPY_MIN_CAPACITY).backend == expected
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "capacity",
+    [NUMPY_MIN_CAPACITY - 1, NUMPY_MIN_CAPACITY, NUMPY_MIN_CAPACITY + 1],
+)
+def test_instr_pool_backend_parity_at_boundary(capacity):
+    """Identical alloc/free/column churn through both pool backends at
+    capacities straddling the numpy switch point must leave identical
+    column state — window size must never change simulation results."""
+    a = InstrPool(capacity, backend="fallback")
+    b = InstrPool(capacity, backend="numpy")
+    assert a.backend == "fallback" and b.backend == "numpy"
+    count = capacity - 2  # fill to the brim, then churn
+    for phase, (got_a, got_b) in enumerate(
+        zip(_drive_pool(a, count), _drive_pool(b, count))
+    ):
+        assert got_a == got_b, f"phase {phase} diverged at capacity {capacity}"
+
+
+@needs_numpy
+def test_instr_pool_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SOA", "array")
+    assert InstrPool(NUMPY_MIN_CAPACITY).backend == "fallback"
+    monkeypatch.setenv("REPRO_SOA", "numpy")
+    assert InstrPool(8).backend == "numpy"
 
 
 def test_sequence_surface_parity_small():

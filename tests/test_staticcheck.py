@@ -97,7 +97,7 @@ def test_undeclared_attr_detected(tmp_path):
 
 def test_slots_count_as_declared(tmp_path):
     idx = _tree(tmp_path, {"core/widget.py": """
-        class DynInstr:
+        class InstrPool:
             __slots__ = ("order", "uid")
 
             def touch(self):
@@ -106,7 +106,7 @@ def test_slots_count_as_declared(tmp_path):
     """})
     report = LintReport(program_name="fixture")
     check_undeclared_attrs(idx, report)
-    assert [d.symbol for d in report.diagnostics] == ["DynInstr.ghost"]
+    assert [d.symbol for d in report.diagnostics] == ["InstrPool.ghost"]
 
 
 def test_nondet_import_detected_only_in_semantic_scope(tmp_path):
@@ -186,8 +186,8 @@ def test_family_merging(index):
 
 
 def test_declared_fields_union_slots_and_init(index):
-    dyn = index.declared_fields("DynInstr")
-    assert "order" in dyn and "uid" in dyn and "in_ready" in dyn
+    pool = index.declared_fields("InstrPool")
+    assert "order" in pool and "uid" in pool and "state" in pool
     proc = index.declared_fields("Processor")
     # the start()-latched loop state must be part of the declared surface
     assert {"_max_cycles", "_watchdog", "_last_retired",
@@ -208,15 +208,16 @@ def test_phase_attribution_pins_the_pipeline(index):
 
 
 def test_atlas_knows_the_arbitration_key_fields(atlas):
-    order = atlas["classes"]["DynInstr"]["fields"]["order"]
-    # order keys are written at construction (sentinels) and at
+    order = atlas["classes"]["InstrPool"]["fields"]["order"]
+    # order-key cells are written at pool construction and at
     # dispatch/placement (sequencer, the cycle's last phase) — never by
     # the complete/retire/issue phases that consume them
     assert order["write_phases"] == ["construct", "sequencer"]
     assert any("sequencer._dispatch" == w or "rob" in w for w in order["writers"])
-    in_ready = atlas["classes"]["DynInstr"]["fields"]["in_ready"]
-    assert "issue" in in_ready["write_phases"]
-    assert in_ready["declared_in"] == "slots"
+    state = atlas["classes"]["InstrPool"]["fields"]["state"]
+    # issue clears ST_IN_READY / sets ST_INFLIGHT in the state column
+    assert "issue" in state["write_phases"]
+    assert state["declared_in"] == "slots"
 
 
 def test_committed_atlas_matches_regeneration(atlas):
@@ -230,11 +231,11 @@ def test_committed_atlas_matches_regeneration(atlas):
 
 def test_atlas_covers_all_tracked_classes(atlas):
     assert set(atlas["meta"]["classes"]) <= set(TRACKED_CLASSES)
-    for cls in ("DynInstr", "ReorderBuffer", "OrderIndex", "LoadStoreQueue",
+    for cls in ("InstrPool", "ReorderBuffer", "OrderIndex", "LoadStoreQueue",
                 "Processor", "_Context"):
         assert cls in atlas["classes"], cls
     table = format_atlas(atlas)
-    assert "DynInstr" in table and "in_ready" in table
+    assert "InstrPool" in table and "state" in table
 
 
 def test_repo_lint_clean_and_no_stale_suppressions(index):
@@ -246,12 +247,13 @@ def test_repo_lint_clean_and_no_stale_suppressions(index):
 
 def test_hazard_inventory_contains_the_known_tiebreak_fields(index):
     """The load-bearing arbitration fields must be in the inventory —
-    if DynInstr.order or in_ready stop being same-cycle hazards, the
-    pipeline's structure changed and the contract needs review."""
+    if InstrPool.order or the state column stop being same-cycle
+    hazards, the pipeline's structure changed and the contract needs
+    review."""
     report = lint_source(index, suppressions=())
     symbols = {d.symbol for d in report.diagnostics if d.rule == "same-cycle-war"}
-    assert "DynInstr.order" in symbols
-    assert "DynInstr.in_ready" in symbols
+    assert "InstrPool.order" in symbols
+    assert "InstrPool.state" in symbols
 
 
 # ----------------------------------------------------------------------
@@ -309,17 +311,17 @@ def test_dynamic_trace_is_subset_of_static_atlas(atlas):
         f"{len(missing)} runtime accesses have no static-atlas entry "
         f"(receiver inference gap): {missing[:10]}"
     )
-    # and the trace must cover the hot arbitration fields
-    assert ("DynInstr", "order", "read") in events
-    assert ("DynInstr", "in_ready", "write") in events
+    # and the trace must cover the hot arbitration columns
+    assert ("InstrPool", "order", "read") in events
+    assert ("InstrPool", "state", "write") in events
 
 
 def test_trace_restores_classes():
-    from repro.core.rob import DynInstr
+    from repro.core.soa import InstrPool
     from repro.analysis.staticcheck.trace import trace_attribute_access
 
-    before_get = DynInstr.__getattribute__
-    with trace_attribute_access({"DynInstr": frozenset({"order"})}):
-        assert DynInstr.__getattribute__ is not before_get
-    assert DynInstr.__getattribute__ is before_get
-    assert "__getattribute__" not in DynInstr.__dict__
+    before_get = InstrPool.__getattribute__
+    with trace_attribute_access({"InstrPool": frozenset({"order"})}):
+        assert InstrPool.__getattribute__ is not before_get
+    assert InstrPool.__getattribute__ is before_get
+    assert "__getattribute__" not in InstrPool.__dict__
